@@ -1,0 +1,37 @@
+"""Benchmark harness for Fact 1: the size of the discretised search space.
+
+The paper motivates the evolutionary search with the observation that, for
+n = 10 categories and grid resolution d = 100, there are about 1.98e126
+candidate RR matrices.  The benchmark recomputes the count and also times the
+combinatorial evaluation across a sweep of domain sizes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import report_experiment
+from repro.core.search_space import log10_rr_matrix_combinations
+from repro.experiments.runner import run_experiment
+
+
+def test_fact1_search_space_size(run_once):
+    result = run_once(run_experiment, "fact1", seed=0)
+    report_experiment(result, plot=False)
+    assert result.reproduced
+    # n=10, d=100 -> ~1.98e126 (log10 ~ 126.297).
+    assert abs(result.metrics["log10_combinations"] - 126.297) < 0.5
+
+
+def test_fact1_growth_sweep(benchmark):
+    """Search-space size grows explosively with the number of categories."""
+
+    def sweep():
+        return [log10_rr_matrix_combinations(n, 100) for n in range(2, 16)]
+
+    exponents = benchmark(sweep)
+    print()
+    print("  n (categories) -> log10(#RR matrices) at d=100")
+    for n, exponent in zip(range(2, 16), exponents):
+        print(f"  {n:3d} -> 10^{exponent:.1f}")
+    # Monotone, super-linear growth.
+    assert all(b > a for a, b in zip(exponents, exponents[1:]))
+    assert exponents[-1] > 200

@@ -1,0 +1,59 @@
+"""Benchmark harness for Figure 5: gamma / uniform / Adult workloads and the
+iterative-estimator check.
+
+* 5(a) gamma(1.0, 2.0), delta = 0.75 — OptRR has roughly twice Warner's
+  privacy range and lower MSE at high privacy;
+* 5(b) discrete uniform, delta = 0.75 — OptRR matches Warner's privacy range
+  (the one case where the ranges coincide) but still finds better matrices;
+* 5(c) Adult first attribute (age), delta = 0.75 — OptRR consistently
+  outperforms Warner (run on the synthetic Adult-like data, see DESIGN.md);
+* 5(d) gamma workload with utility re-measured by actually disguising data
+  and running the iterative estimator (Eq. 3) — OptRR still wins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report_experiment
+from repro.experiments.runner import run_experiment
+
+
+@pytest.mark.parametrize("experiment_id", ["fig5a", "fig5c"])
+def test_figure5_skewed_priors(run_once, experiment_id: str):
+    """Gamma and Adult workloads: wider privacy range plus utility wins."""
+    result = run_once(run_experiment, experiment_id, seed=0)
+    report_experiment(result)
+    comparison = result.comparison
+    assert comparison is not None
+    assert comparison.extra_privacy_range > -5e-3
+    probes = comparison.candidate_wins + comparison.baseline_wins + comparison.ties
+    assert probes == 0 or comparison.candidate_wins + comparison.ties >= comparison.baseline_wins
+    assert result.reproduced
+
+
+def test_figure5b_uniform_prior(run_once):
+    """Uniform prior: the privacy ranges of OptRR and Warner coincide."""
+    result = run_once(run_experiment, "fig5b", seed=0)
+    report_experiment(result)
+    comparison = result.comparison
+    assert comparison is not None
+    # The ranges should be nearly identical (paper: "the same privacy range").
+    assert abs(comparison.extra_privacy_range) < 0.05
+    probes = comparison.candidate_wins + comparison.baseline_wins + comparison.ties
+    assert probes == 0 or comparison.candidate_wins + comparison.ties >= comparison.baseline_wins
+    assert result.reproduced
+
+
+def test_figure5d_iterative_estimator(run_once):
+    """Iterative-estimator re-measurement: OptRR still outperforms Warner."""
+    result = run_once(run_experiment, "fig5d", seed=0)
+    report_experiment(result)
+    comparison = result.comparison
+    assert comparison is not None
+    # Empirical MSE is noisy; the headline claims are the wider (or equal)
+    # privacy range and not losing the majority of utility probes.
+    assert comparison.extra_privacy_range > -0.05
+    probes = comparison.candidate_wins + comparison.baseline_wins + comparison.ties
+    assert probes == 0 or comparison.candidate_wins + comparison.ties >= comparison.baseline_wins
+    assert result.reproduced

@@ -1,0 +1,20 @@
+"""Benchmark harness for Theorem 2: Warner, UP and FRAPP are the same family.
+
+The experiment sweeps the three parametric schemes over matched parameter
+grids and verifies that (a) each UP / FRAPP matrix equals the Warner matrix
+with the corresponding retention probability, and (b) the resulting
+(privacy, utility) solution sets are identical.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import report_experiment
+from repro.experiments.runner import run_experiment
+
+
+def test_theorem2_scheme_equivalence(run_once):
+    result = run_once(run_experiment, "thm2", seed=0)
+    report_experiment(result, plot=False)
+    assert result.reproduced
+    assert result.metrics["max_matrix_gap"] < 1e-9
+    assert result.metrics["max_front_gap"] < 1e-9

@@ -1,0 +1,54 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every paper table/figure has one benchmark that (a) regenerates the figure's
+data series with this library, (b) prints the paper-vs-measured comparison,
+and (c) records the wall-clock cost via pytest-benchmark.
+
+Budget knobs (both optional):
+
+* ``REPRO_GENERATIONS`` — optimizer generations per experiment (default 400;
+  the paper itself runs 20 000).
+* ``REPRO_POPULATION``  — population/archive size (default 40).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plot import ascii_scatter
+from repro.experiments.base import ExperimentResult
+
+
+def report_experiment(result: ExperimentResult, *, plot: bool = True) -> None:
+    """Print the paper-vs-measured summary (and an ASCII front plot) for an
+    experiment result so the benchmark output doubles as the figure data."""
+    print()
+    print("=" * 78)
+    print(result.summary_text())
+    if result.metrics:
+        print("-" * 78)
+        for key, value in sorted(result.metrics.items()):
+            print(f"  {key:28s} = {value:.6g}")
+    fronts = [front for front in result.fronts.values() if not front.is_empty]
+    if plot and fronts:
+        print("-" * 78)
+        print(ascii_scatter(fronts, width=70, height=16))
+    print("=" * 78)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark.
+
+    The experiments are minutes-scale relative to micro-benchmarks, so a
+    single round is both representative and affordable.
+    """
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,86 @@
+"""Disguise an Adult-census-like survey and recover aggregate statistics.
+
+This example mirrors the paper's real-data scenario (Figure 5(c)): a data
+collector gathers census-style records, the sensitive attributes are disguised
+with randomized response before leaving the respondents, and the analyst later
+reconstructs the attribute distributions from the disguised data.
+
+Two matrices are compared for the same attribute: a Warner matrix and an
+OptRR-optimized matrix with the same worst-case privacy bound.
+
+Run with::
+
+    python examples/adult_survey.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    InversionEstimator,
+    MatrixEvaluator,
+    OptRRConfig,
+    OptRROptimizer,
+    RandomizedResponse,
+    load_adult_like,
+    warner_matrix,
+)
+from repro.data.adult import adult_attribute_distribution
+
+
+def reconstruct(disguised_codes: np.ndarray, matrix, truth: np.ndarray) -> float:
+    """Reconstruct the distribution and return its MSE against the truth."""
+    estimate = InversionEstimator().estimate_from_codes(disguised_codes, matrix)
+    return float(np.mean((estimate.probabilities - truth) ** 2))
+
+
+def main() -> None:
+    delta = 0.75
+    attribute = "age"
+    dataset = load_adult_like(32_561, attributes=("age", "workclass", "income"), seed=3)
+    prior = adult_attribute_distribution(attribute)
+    truth = dataset.distribution(attribute).probabilities
+    n_records = dataset.n_records
+    evaluator = MatrixEvaluator(prior, n_records, delta)
+
+    print(f"Adult-like dataset: {n_records} records, attribute {attribute!r} "
+          f"with {prior.n_categories} categories")
+    print("Attribute prior:", {c: round(p, 3) for c, p in prior.as_dict().items()})
+    print()
+
+    # Baseline: the strongest Warner matrix that still satisfies the bound.
+    feasible_warner = None
+    for p in np.linspace(1.0, 1.0 / prior.n_categories, 400):
+        candidate = warner_matrix(prior.n_categories, float(p))
+        if evaluator.evaluate(candidate).feasible:
+            feasible_warner = candidate
+            break
+    assert feasible_warner is not None
+
+    # OptRR: optimize matrices for this attribute and pick the one whose
+    # privacy matches the Warner baseline.
+    config = OptRRConfig(
+        population_size=40, archive_size=40, n_generations=250, delta=delta, seed=5
+    )
+    result = OptRROptimizer(prior, n_records, config).run()
+    warner_evaluation = evaluator.evaluate(feasible_warner)
+    optrr_point = result.best_matrix_for_privacy(warner_evaluation.privacy)
+
+    print(f"{'scheme':10s} {'privacy':>9s} {'max posterior':>14s} {'predicted MSE':>14s} "
+          f"{'measured MSE':>13s}")
+    for name, matrix in (("warner", feasible_warner), ("optrr", optrr_point.matrix)):
+        evaluation = evaluator.evaluate(matrix)
+        mechanism = RandomizedResponse(matrix)
+        disguised = mechanism.randomize_codes(dataset.column(attribute), seed=11)
+        measured = reconstruct(disguised, matrix, truth)
+        print(f"{name:10s} {evaluation.privacy:>9.3f} {evaluation.max_posterior:>14.3f} "
+              f"{evaluation.utility:>14.2e} {measured:>13.2e}")
+
+    print()
+    print("Both schemes satisfy the same worst-case bound; the optimized matrix "
+          "achieves the same (or better) privacy with a lower reconstruction error.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Privacy-preserving decision-tree building on RR-disguised data.
+
+Follows the Du & Zhan-style scenario from the paper's related work: build a
+classifier for a survey outcome when the predictive attributes arrive only in
+randomized (disguised) form.  The split criterion works on distributions
+reconstructed with the inversion estimator rather than on raw counts.
+
+Run with::
+
+    python examples/decision_tree_mining.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import warner_matrix
+from repro.data.dataset import CategoricalDataset
+from repro.mining.decision_tree import DecisionTreeBuilder, DecisionTreeNode
+from repro.rr.randomize import randomize_dataset
+
+
+def build_dataset(n_records: int, seed: int) -> CategoricalDataset:
+    """Synthetic loan-approval data: approval depends on income and savings."""
+    rng = np.random.default_rng(seed)
+    income = rng.choice(3, size=n_records, p=[0.4, 0.4, 0.2])          # low/mid/high
+    savings = rng.choice(2, size=n_records, p=[0.65, 0.35])            # low/high
+    employment = rng.choice(2, size=n_records, p=[0.7, 0.3])           # employed/self
+    approve_probability = 0.1 + 0.3 * income + 0.25 * savings
+    approved = (rng.random(n_records) < approve_probability).astype(np.int64)
+    return CategoricalDataset.from_columns(
+        {
+            "income": income,
+            "savings": savings,
+            "employment": employment,
+            "approved": approved,
+        },
+        {
+            "income": ("low", "mid", "high"),
+            "savings": ("low", "high"),
+            "employment": ("employed", "self-employed"),
+            "approved": ("no", "yes"),
+        },
+    )
+
+
+def print_tree(node: DecisionTreeNode, dataset: CategoricalDataset, indent: str = "") -> None:
+    """Pretty-print the reconstructed tree."""
+    class_labels = dataset.attribute("approved").categories
+    if node.is_leaf:
+        distribution = ", ".join(
+            f"{label}={probability:.2f}"
+            for label, probability in zip(class_labels, node.class_distribution)
+        )
+        print(f"{indent}leaf -> predict {class_labels[node.predicted_class]!r} ({distribution})")
+        return
+    labels = dataset.attribute(node.split_attribute).categories
+    print(f"{indent}split on {node.split_attribute!r}")
+    for code, child in sorted(node.children.items()):
+        print(f"{indent}  {node.split_attribute} = {labels[code]!r}:")
+        print_tree(child, dataset, indent + "    ")
+
+
+def main() -> None:
+    n_records = 30_000
+    dataset = build_dataset(n_records, seed=6)
+
+    # The respondents disguise income and savings before submission.
+    matrices = {
+        "income": warner_matrix(3, 0.75),
+        "savings": warner_matrix(2, 0.85),
+    }
+    disguised = randomize_dataset(dataset, matrices, seed=13)
+
+    builder = DecisionTreeBuilder(
+        matrices, class_attribute="approved", max_depth=3, min_information_gain=5e-3
+    )
+    tree = builder.build(disguised)
+
+    print("Decision tree reconstructed from the disguised data:")
+    print_tree(tree, dataset)
+    print()
+
+    # Evaluate predictions against the (undisguised) ground truth.
+    names = dataset.attribute_names
+    predictions = np.array([
+        tree.predict_one(dict(zip(names, row))) for row in dataset.records
+    ])
+    truth = dataset.column("approved")
+    accuracy = float(np.mean(predictions == truth))
+    majority = float(max(np.mean(truth == 0), np.mean(truth == 1)))
+    print(f"Accuracy on the original records: {accuracy:.3f} "
+          f"(majority-class baseline: {majority:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment ships setuptools but not the ``wheel`` package, so
+PEP 660 editable installs (which build an editable wheel) fail.  Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` code path, which needs no wheel.  All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

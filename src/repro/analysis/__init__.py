@@ -1,0 +1,15 @@
+"""Pareto-front analysis, comparison, plotting and reporting."""
+
+from repro.analysis.front import ParetoFront
+from repro.analysis.compare import FrontComparison, compare_fronts
+from repro.analysis.plot import ascii_scatter
+from repro.analysis.report import format_front_table, format_comparison_table
+
+__all__ = [
+    "FrontComparison",
+    "ParetoFront",
+    "ascii_scatter",
+    "compare_fronts",
+    "format_comparison_table",
+    "format_front_table",
+]

@@ -1,0 +1,59 @@
+"""Text reports for experiments: front tables and comparison summaries."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.compare import FrontComparison
+from repro.analysis.front import ParetoFront
+
+
+def format_front_table(front: ParetoFront, *, max_rows: int = 20) -> str:
+    """Format a front as a fixed-width table of (privacy, utility) rows.
+
+    Long fronts are subsampled evenly so the table stays readable.
+    """
+    header = f"Pareto front: {front.name} ({len(front)} points)"
+    if front.is_empty:
+        return header + "\n  (empty)"
+    points = list(front)
+    if len(points) > max_rows:
+        step = len(points) / max_rows
+        points = [points[int(index * step)] for index in range(max_rows)]
+    lines = [header, f"  {'privacy':>10}  {'utility (MSE)':>14}"]
+    for point in points:
+        lines.append(f"  {point.privacy:>10.4f}  {point.utility:>14.6e}")
+    return "\n".join(lines)
+
+
+def format_comparison_table(comparisons: Sequence[FrontComparison]) -> str:
+    """Format one or more front comparisons as a summary table."""
+    if not comparisons:
+        return "(no comparisons)"
+    lines = [
+        f"  {'candidate':>12} {'baseline':>12} {'priv. range (cand.)':>22} "
+        f"{'priv. range (base)':>20} {'extra range':>12} {'util. ratio':>12} "
+        f"{'wins':>5} {'losses':>7}"
+    ]
+    for comparison in comparisons:
+        cand_range = f"[{comparison.candidate_privacy_range[0]:.3f}, {comparison.candidate_privacy_range[1]:.3f}]"
+        base_range = f"[{comparison.baseline_privacy_range[0]:.3f}, {comparison.baseline_privacy_range[1]:.3f}]"
+        lines.append(
+            f"  {comparison.candidate_name:>12} {comparison.baseline_name:>12} "
+            f"{cand_range:>22} {base_range:>20} "
+            f"{comparison.extra_privacy_range:>12.4f} "
+            f"{comparison.mean_utility_ratio:>12.3f} "
+            f"{comparison.candidate_wins:>5d} {comparison.baseline_wins:>7d}"
+        )
+    return "\n".join(lines)
+
+
+def format_paper_vs_measured(
+    experiment_id: str,
+    paper_claim: str,
+    measured: str,
+    holds: bool,
+) -> str:
+    """One-line paper-vs-measured record used by the benchmark harness."""
+    status = "REPRODUCED" if holds else "DIVERGED"
+    return f"[{status}] {experiment_id}: paper: {paper_claim} | measured: {measured}"

@@ -1,0 +1,164 @@
+"""Command-line interface for the OptRR reproduction library.
+
+Usage examples::
+
+    optrr list
+    optrr run fig4a --generations 200 --seed 1
+    optrr optimize --distribution gamma --categories 10 --records 10000 --delta 0.75
+    optrr compare-schemes --distribution normal --categories 10
+    optrr search-space --categories 10 --grid 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.front import ParetoFront
+from repro.analysis.plot import ascii_scatter
+from repro.analysis.report import format_front_table
+from repro.core.config import OptRRConfig
+from repro.core.optimizer import OptRROptimizer
+from repro.core.search_space import log10_rr_matrix_combinations
+from repro.data.adult import adult_attribute_distribution, adult_attribute_names
+from repro.data.synthetic import make_distribution
+from repro.experiments.registry import available_experiments, get_experiment
+from repro.experiments.runner import run_experiment
+from repro.rr.family import scheme_family, family_names
+from repro.metrics.evaluation import MatrixEvaluator
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="optrr",
+        description="OptRR: optimizing randomized response schemes (ICDE 2008 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run a paper experiment")
+    run_parser.add_argument("experiment", help="experiment id (see `optrr list`)")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--generations", type=int, default=None)
+    run_parser.add_argument("--population", type=int, default=None)
+    run_parser.add_argument("--plot", action="store_true", help="render an ASCII front plot")
+
+    optimize_parser = subparsers.add_parser("optimize", help="optimize RR matrices for a workload")
+    optimize_parser.add_argument("--distribution", default="normal",
+                                 help="normal, gamma, uniform, zipf, geometric, or adult:<attribute>")
+    optimize_parser.add_argument("--categories", type=int, default=10)
+    optimize_parser.add_argument("--records", type=int, default=10_000)
+    optimize_parser.add_argument("--delta", type=float, default=None)
+    optimize_parser.add_argument("--generations", type=int, default=200)
+    optimize_parser.add_argument("--population", type=int, default=40)
+    optimize_parser.add_argument("--seed", type=int, default=0)
+    optimize_parser.add_argument("--plot", action="store_true")
+
+    compare_parser = subparsers.add_parser(
+        "compare-schemes", help="compare the classic scheme families on a workload"
+    )
+    compare_parser.add_argument("--distribution", default="normal")
+    compare_parser.add_argument("--categories", type=int, default=10)
+    compare_parser.add_argument("--records", type=int, default=10_000)
+    compare_parser.add_argument("--delta", type=float, default=None)
+
+    space_parser = subparsers.add_parser("search-space", help="print the Fact 1 search-space size")
+    space_parser.add_argument("--categories", type=int, default=10)
+    space_parser.add_argument("--grid", type=int, default=100)
+
+    return parser
+
+
+def _resolve_distribution(name: str, n_categories: int):
+    if name.startswith("adult:"):
+        return adult_attribute_distribution(name.split(":", 1)[1])
+    if name == "adult":
+        return adult_attribute_distribution(adult_attribute_names()[0])
+    return make_distribution(name, n_categories)
+
+
+def _command_list() -> int:
+    print("Available experiments:")
+    for experiment_id in available_experiments():
+        spec = get_experiment(experiment_id)
+        print(f"  {experiment_id:8s}  {spec.paper_artifact:12s}  {spec.description}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    overrides = {}
+    if args.generations is not None:
+        overrides["n_generations"] = args.generations
+    if args.population is not None:
+        overrides["population_size"] = args.population
+    result = run_experiment(args.experiment, seed=args.seed, **overrides)
+    print(result.summary_text())
+    if args.plot and result.fronts:
+        fronts = [front for front in result.fronts.values() if not front.is_empty]
+        if fronts:
+            print(ascii_scatter(fronts))
+    return 0 if result.reproduced else 1
+
+
+def _command_optimize(args: argparse.Namespace) -> int:
+    prior = _resolve_distribution(args.distribution, args.categories)
+    config = OptRRConfig(
+        population_size=args.population,
+        archive_size=args.population,
+        n_generations=args.generations,
+        delta=args.delta,
+        seed=args.seed,
+    )
+    result = OptRROptimizer(prior, args.records, config).run()
+    front = ParetoFront.from_result("optrr", result)
+    print(format_front_table(front, max_rows=30))
+    if args.plot:
+        print(ascii_scatter([front]))
+    low, high = result.privacy_range
+    print(f"privacy range: [{low:.4f}, {high:.4f}]  "
+          f"({len(result)} Pareto points, {result.n_evaluations} evaluations)")
+    return 0
+
+
+def _command_compare_schemes(args: argparse.Namespace) -> int:
+    prior = _resolve_distribution(args.distribution, args.categories)
+    evaluator = MatrixEvaluator(prior, args.records, args.delta)
+    for name in family_names():
+        family = scheme_family(name, prior.n_categories)
+        front = ParetoFront.from_matrices(name, family.matrices(201), evaluator)
+        print(format_front_table(front, max_rows=10))
+        print()
+    return 0
+
+
+def _command_search_space(args: argparse.Namespace) -> int:
+    log10_count = log10_rr_matrix_combinations(args.categories, args.grid)
+    print(
+        f"discretised RR matrices for n={args.categories}, d={args.grid}: "
+        f"about 10^{log10_count:.2f}"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "optimize":
+        return _command_optimize(args)
+    if args.command == "compare-schemes":
+        return _command_compare_schemes(args)
+    if args.command == "search-space":
+        return _command_search_space(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

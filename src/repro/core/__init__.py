@@ -1,0 +1,38 @@
+"""OptRR core: the paper's SPEA2-based search for optimal RR matrices.
+
+This package turns the generic EMOO engine (:mod:`repro.emoo`) into the
+paper's algorithm: RR matrices are the genomes, privacy (Eq. 8) and utility
+(Theorem 6) are the two objectives, the variation operators respect the
+column-stochastic constraint, a repair step enforces the worst-case bound
+``delta`` (Eq. 9), and an unbounded-cost *optimal set* Ω keeps every good
+matrix evicted from the bounded archive.
+"""
+
+from repro.core.config import OptRRConfig
+from repro.core.archive import OptimalSet
+from repro.core.operators import (
+    column_crossover,
+    enforce_privacy_bound,
+    proportional_column_mutation,
+    random_initial_matrices,
+)
+from repro.core.problem import RRMatrixProblem
+from repro.core.optimizer import OptRROptimizer
+from repro.core.result import OptimizationResult, ParetoPoint
+from repro.core.bruteforce import brute_force_front
+from repro.core.search_space import rr_matrix_combinations
+
+__all__ = [
+    "OptRRConfig",
+    "OptRROptimizer",
+    "OptimalSet",
+    "OptimizationResult",
+    "ParetoPoint",
+    "RRMatrixProblem",
+    "brute_force_front",
+    "column_crossover",
+    "enforce_privacy_bound",
+    "proportional_column_mutation",
+    "random_initial_matrices",
+    "rr_matrix_combinations",
+]

@@ -1,0 +1,140 @@
+"""The optimal set Ω (Section V-H of the paper).
+
+SPEA2's archive and population are bounded, so good RR matrices are discarded
+when the front gets crowded.  The paper's fix is an additional *optimal set*
+Ω: a large array of slots indexed by (discretised) privacy value, each slot
+keeping the matrix with the best utility seen so far at that privacy level.
+Updating Ω is O(1) per candidate, so its size can be much larger than the
+archive without affecting the cubic environmental-selection cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.emoo.dominance import non_dominated
+from repro.emoo.individual import Individual
+from repro.exceptions import OptimizationError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class OptimalSet:
+    """Privacy-indexed store of the best matrices found so far.
+
+    Parameters
+    ----------
+    size:
+        Number of privacy slots (``N_Ω``).  The privacy range ``[0, 1]`` is
+        divided uniformly; a matrix with privacy ``p`` lands in slot
+        ``floor(p * size)``.
+    """
+
+    size: int = 1000
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.size, "size")
+        self._slots: list[Individual | None] = [None] * self.size
+        self._n_updates = 0
+
+    # -- indexing ------------------------------------------------------------
+    def slot_of(self, privacy: float) -> int:
+        """Slot index of a privacy value."""
+        if not np.isfinite(privacy):
+            raise OptimizationError(f"privacy must be finite, got {privacy}")
+        index = int(np.floor(np.clip(privacy, 0.0, 1.0) * self.size))
+        return min(index, self.size - 1)
+
+    # -- updates ---------------------------------------------------------------
+    def offer(self, individual: Individual) -> bool:
+        """Offer a candidate to Ω.
+
+        The candidate must carry ``privacy`` and ``utility`` metadata (set by
+        :class:`repro.core.problem.RRMatrixProblem`).  It replaces the current
+        occupant of its privacy slot when the slot is empty or the candidate
+        has strictly better (lower) utility.  Infeasible candidates are
+        ignored.  Returns True when Ω was updated.
+        """
+        if not individual.feasible:
+            return False
+        try:
+            privacy = float(individual.metadata["privacy"])
+            utility = float(individual.metadata["utility"])
+        except KeyError as exc:
+            raise OptimizationError(
+                "individuals offered to the optimal set must carry 'privacy' "
+                "and 'utility' metadata"
+            ) from exc
+        if not np.isfinite(utility):
+            return False
+        slot = self.slot_of(privacy)
+        occupant = self._slots[slot]
+        if occupant is None or utility < float(occupant.metadata["utility"]):
+            self._slots[slot] = individual.copy()
+            self._n_updates += 1
+            return True
+        return False
+
+    def offer_many(self, individuals: list[Individual]) -> int:
+        """Offer a batch of candidates; returns the number of accepted updates."""
+        return sum(1 for individual in individuals if self.offer(individual))
+
+    def best_for_slot(self, slot: int) -> Individual | None:
+        """Current occupant of ``slot`` (None when empty)."""
+        if not 0 <= slot < self.size:
+            raise OptimizationError(f"slot {slot} out of range [0, {self.size})")
+        return self._slots[slot]
+
+    # -- views ------------------------------------------------------------------
+    @property
+    def n_updates(self) -> int:
+        """Total number of accepted updates since creation."""
+        return self._n_updates
+
+    @property
+    def n_occupied(self) -> int:
+        """Number of non-empty slots."""
+        return sum(1 for slot in self._slots if slot is not None)
+
+    def members(self) -> list[Individual]:
+        """All stored individuals, ordered by privacy slot."""
+        return [slot for slot in self._slots if slot is not None]
+
+    def pareto_members(self) -> list[Individual]:
+        """The non-dominated subset of the stored individuals."""
+        return non_dominated(self.members())
+
+    def __len__(self) -> int:
+        return self.n_occupied
+
+    def __iter__(self) -> Iterator[Individual]:
+        return iter(self.members())
+
+    def best_utility_for_privacy(self, min_privacy: float) -> Individual | None:
+        """Best-utility member whose privacy is at least ``min_privacy``.
+
+        This is the user-facing query the paper motivates Ω with: "give me the
+        most useful matrix that achieves at least this much privacy".
+        """
+        candidates = [
+            member
+            for member in self.members()
+            if float(member.metadata["privacy"]) >= min_privacy
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda member: float(member.metadata["utility"]))
+
+    def best_privacy_for_utility(self, max_utility: float) -> Individual | None:
+        """Best-privacy member whose utility (MSE) is at most ``max_utility``."""
+        candidates = [
+            member
+            for member in self.members()
+            if float(member.metadata["utility"]) <= max_utility
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda member: float(member.metadata["privacy"]))

@@ -1,0 +1,249 @@
+"""RR-matrix variation operators (Sections V-E, V-F and V-G of the paper).
+
+All operators take and return :class:`~repro.rr.matrix.RRMatrix` instances
+and preserve the column-stochastic constraint:
+
+* **column crossover** — pick a random boundary between two columns and swap
+  everything to its right between the two parents (Figure 3 in the paper);
+* **proportional column mutation** — pick a column and an element, add or
+  subtract a small random value, and rescale the remaining elements of the
+  column proportionally (to their values when mass must be removed, to
+  ``1 - value`` when mass must be added) so the column still sums to one;
+* **privacy-bound repair** — shrink the matrix entries responsible for
+  posteriors above ``delta`` and redistribute the removed mass within the
+  same column, iterating until the worst posterior meets the bound (or a
+  small iteration budget is exhausted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.metrics.privacy import posterior_matrix
+from repro.rr.matrix import RRMatrix, random_rr_matrix
+from repro.types import SeedLike, as_rng
+from repro.utils.validation import check_in_unit_interval, check_positive_int
+
+#: Tiny value used to keep columns strictly positive where renormalisation
+#: would otherwise divide by zero.
+_EPSILON = 1e-12
+
+
+def column_crossover(
+    first: RRMatrix,
+    second: RRMatrix,
+    rng: SeedLike = None,
+) -> tuple[RRMatrix, RRMatrix]:
+    """Swap the columns to the right of a random boundary between two parents.
+
+    Because whole columns are exchanged, both children remain
+    column-stochastic by construction.
+    """
+    if first.n_categories != second.n_categories:
+        raise ValidationError("parents must have the same domain size")
+    n = first.n_categories
+    generator = as_rng(rng)
+    # A boundary after column `cut` (1 .. n-1); swapping after column n would
+    # be a no-op and after column 0 would swap everything (also allowed by the
+    # paper's figure, but it just exchanges the parents), so we restrict to
+    # boundaries that actually mix genetic material.
+    if n < 2:
+        return first, second
+    cut = int(generator.integers(1, n))
+    child_a = first.as_array()
+    child_b = second.as_array()
+    child_a[:, cut:], child_b[:, cut:] = child_b[:, cut:].copy(), child_a[:, cut:].copy()
+    return RRMatrix(child_a), RRMatrix(child_b)
+
+
+def _rebalance_column(column: np.ndarray, changed: int, delta: float) -> np.ndarray:
+    """Apply ``delta`` to ``column[changed]`` and redistribute ``-delta`` over
+    the remaining entries, proportionally to their values when removing mass
+    and proportionally to ``1 - value`` when adding mass.
+
+    This is the paper's mutation rebalancing rule; it keeps every entry in
+    ``[0, 1]`` and the column sum at one.
+    """
+    column = column.astype(np.float64).copy()
+    n = column.size
+    others = np.arange(n) != changed
+    column[changed] = column[changed] + delta
+    if delta > 0:
+        # Mass was added to the changed element: remove `delta` from the other
+        # elements proportionally to their current values.
+        weights = column[others]
+        total = weights.sum()
+        if total <= _EPSILON:
+            # Nothing to take from; undo the change.
+            column[changed] -= delta
+            return column
+        column[others] = weights - delta * (weights / total)
+    else:
+        # Mass was removed from the changed element: add `-delta` to the other
+        # elements proportionally to (1 - value).
+        headroom = 1.0 - column[others]
+        total = headroom.sum()
+        if total <= _EPSILON:
+            column[changed] -= delta
+            return column
+        column[others] = column[others] + (-delta) * (headroom / total)
+    column = np.clip(column, 0.0, 1.0)
+    column_sum = column.sum()
+    if column_sum <= 0:
+        return np.full(n, 1.0 / n)
+    return column / column_sum
+
+
+def proportional_column_mutation(
+    matrix: RRMatrix,
+    rng: SeedLike = None,
+    *,
+    scale: float = 0.3,
+) -> RRMatrix:
+    """Mutate one column of ``matrix`` as described in Section V-F.
+
+    A random element of a random column is perturbed by a random amount in
+    ``(0, scale]`` (added or subtracted, clipped so the element stays in
+    ``[0, 1]``) and the rest of the column is rescaled proportionally.
+    """
+    check_in_unit_interval(scale, "scale", inclusive_low=False)
+    generator = as_rng(rng)
+    n = matrix.n_categories
+    column_index = int(generator.integers(0, n))
+    element_index = int(generator.integers(0, n))
+    column = matrix.column(column_index)
+    magnitude = float(generator.uniform(0.0, scale))
+    add = bool(generator.integers(0, 2))
+    if add:
+        delta = min(magnitude, 1.0 - column[element_index])
+    else:
+        delta = -min(magnitude, column[element_index])
+    if abs(delta) <= _EPSILON:
+        # The element is already saturated in the chosen direction; flip it.
+        delta = -delta if delta != 0 else (
+            min(magnitude, 1.0 - column[element_index])
+            or -min(magnitude, column[element_index])
+        )
+        if abs(delta) <= _EPSILON:
+            return matrix
+    mutated_column = _rebalance_column(column, element_index, delta)
+    return matrix.replace_column(column_index, mutated_column)
+
+
+def enforce_privacy_bound(
+    matrix: RRMatrix,
+    prior: np.ndarray,
+    delta: float,
+    *,
+    max_passes: int = 50,
+    tolerance: float = 1e-9,
+) -> RRMatrix:
+    """Repair ``matrix`` so that ``max P(X | Y) <= delta`` (Section V-G).
+
+    For every posterior ``P(X = c_j | Y = c_i)`` above the bound, the entry
+    ``theta[i, j]`` is reduced towards the value that makes the posterior
+    exactly ``delta`` and the removed mass is redistributed over the other
+    entries of column ``j`` proportionally to ``1 - value``.  Because the
+    posteriors of a column interact, the procedure iterates up to
+    ``max_passes`` times; matrices that cannot be repaired (e.g. when
+    ``delta < max P(X)``, which Theorem 5 proves impossible to satisfy) are
+    returned in their best-effort state and the evaluator marks them
+    infeasible.
+    """
+    check_in_unit_interval(delta, "delta", inclusive_low=False)
+    check_positive_int(max_passes, "max_passes")
+    prior = np.asarray(prior, dtype=np.float64)
+    values = matrix.as_array()
+    n = matrix.n_categories
+    for _ in range(max_passes):
+        posterior = posterior_matrix(values, prior)
+        worst = posterior.max()
+        if worst <= delta + tolerance:
+            break
+        # Visit every violating (report i, original j) pair.
+        report_index, original_index = np.unravel_index(np.argmax(posterior), posterior.shape)
+        i, j = int(report_index), int(original_index)
+        # Posterior(i, j) = theta[i, j] p_j / sum_l theta[i, l] p_l.
+        # Solving Posterior = delta for theta[i, j] with the other entries of
+        # row i fixed gives the target value below.
+        row_rest = float(values[i, :] @ prior - values[i, j] * prior[j])
+        if prior[j] <= _EPSILON:
+            break
+        target = delta * row_rest / (prior[j] * (1.0 - delta)) if delta < 1.0 else values[i, j]
+        target = float(np.clip(target, 0.0, values[i, j]))
+        removed = values[i, j] - target
+        if removed <= _EPSILON:
+            # Cannot reduce further (the prior alone already violates delta).
+            break
+        column = values[:, j].copy()
+        column[i] = target
+        others = np.arange(n) != i
+        headroom = 1.0 - column[others]
+        total_headroom = headroom.sum()
+        if total_headroom <= _EPSILON:
+            break
+        column[others] = column[others] + removed * (headroom / total_headroom)
+        column = np.clip(column, 0.0, 1.0)
+        column_sum = column.sum()
+        if column_sum <= 0:
+            break
+        values[:, j] = column / column_sum
+    return RRMatrix(values)
+
+
+def random_initial_matrix(
+    n_categories: int,
+    rng: SeedLike = None,
+    *,
+    kind: int = 0,
+    diagonal_bias: float = 2.0,
+) -> RRMatrix:
+    """Generate one random initial matrix of the given ``kind``.
+
+    Three kinds are mixed into the initial population so it spans the whole
+    privacy/utility trade-off from the first generation:
+
+    * ``kind % 3 == 0`` — plain flat-Dirichlet columns (moderate privacy);
+    * ``kind % 3 == 1`` — diagonally biased columns (low privacy, low MSE,
+      near the identity matrix);
+    * ``kind % 3 == 2`` — a blend of the uniform matrix and Dirichlet noise
+      (high privacy, near total randomization, but still invertible).
+    """
+    check_positive_int(n_categories, "n_categories")
+    generator = as_rng(rng)
+    mode = kind % 3
+    if mode == 1 and diagonal_bias > 0:
+        bias = float(generator.uniform(0.0, diagonal_bias * n_categories))
+        return random_rr_matrix(n_categories, seed=generator, diagonal_bias=bias)
+    if mode == 2:
+        noise = generator.dirichlet(np.ones(n_categories), size=n_categories).T
+        weight = float(generator.uniform(0.02, 0.5))
+        blended = (1.0 - weight) * np.full((n_categories, n_categories), 1.0 / n_categories)
+        blended = blended + weight * noise
+        return RRMatrix(blended / blended.sum(axis=0, keepdims=True))
+    return random_rr_matrix(n_categories, seed=generator)
+
+
+def random_initial_matrices(
+    n_categories: int,
+    population_size: int,
+    rng: SeedLike = None,
+    *,
+    diagonal_bias: float = 2.0,
+) -> list[RRMatrix]:
+    """Generate the initial population ``Q_0``.
+
+    The population mixes plain random, diagonally-biased and near-uniform
+    matrices (see :func:`random_initial_matrix`) so the initial front already
+    spans the trade-off from near-total randomization to near-identity.
+    """
+    check_positive_int(n_categories, "n_categories")
+    check_positive_int(population_size, "population_size")
+    generator = as_rng(rng)
+    return [
+        random_initial_matrix(
+            n_categories, generator, kind=index, diagonal_bias=diagonal_bias
+        )
+        for index in range(population_size)
+    ]

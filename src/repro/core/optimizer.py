@@ -1,0 +1,254 @@
+"""The OptRR optimizer: SPEA2 customised for RR matrices (Section V).
+
+The driver below follows the paper's algorithm outline:
+
+1. *Fitness assignment* over the union of population and archive (SPEA2
+   strength + raw fitness + density);
+2. *Environmental selection* into a bounded archive with diversity-preserving
+   truncation;
+3. *Mating selection* by binary tournament;
+4. *Crossover and mutation* with the RR-matrix-specific operators;
+5. *Meeting the bound*: repair every offspring so ``max P(X|Y) <= delta``;
+6. *Updating the three sets*: offer the archive and the offspring to the
+   optimal set Ω (privacy-indexed), and inject Ω's best matrices back into
+   the evolving sets so good discarded solutions keep participating;
+7. *Termination*: a fixed generation budget and/or Ω-stagnation patience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.archive import OptimalSet
+from repro.core.config import OptRRConfig
+from repro.core.problem import RRMatrixProblem
+from repro.core.result import OptimizationResult
+from repro.data.distribution import CategoricalDistribution
+from repro.emoo.fitness import assign_spea2_fitness
+from repro.emoo.individual import Individual
+from repro.emoo.selection import binary_tournament, environmental_selection
+from repro.emoo.termination import (
+    GenerationState,
+    MaxGenerations,
+    StagnationTermination,
+    TerminationCriterion,
+)
+from repro.exceptions import OptimizationError
+from repro.metrics.privacy import check_bound_feasible
+from repro.types import SeedLike, as_rng
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+#: Progress callback invoked after each generation with
+#: (generation index, archive, optimal set).
+ProgressCallback = Callable[[int, list[Individual], OptimalSet], None]
+
+
+@dataclass
+class OptRROptimizer:
+    """Search for Pareto-optimal RR matrices for a given data distribution.
+
+    Parameters
+    ----------
+    prior:
+        The original data distribution ``P(X)`` (a
+        :class:`~repro.data.distribution.CategoricalDistribution` or a
+        probability vector).
+    n_records:
+        Number of records ``N`` of the dataset to be disguised; enters the
+        closed-form utility (Theorem 6).
+    config:
+        Optimization hyper-parameters, including the privacy bound ``delta``.
+
+    Examples
+    --------
+    >>> from repro.data import normal_distribution
+    >>> from repro.core import OptRRConfig, OptRROptimizer
+    >>> prior = normal_distribution(5)
+    >>> config = OptRRConfig(n_generations=20, delta=0.8, seed=7)
+    >>> result = OptRROptimizer(prior, n_records=1000, config=config).run()
+    >>> len(result) > 0
+    True
+    """
+
+    prior: CategoricalDistribution
+    n_records: int
+    config: OptRRConfig = field(default_factory=OptRRConfig)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.prior, CategoricalDistribution):
+            self.prior = CategoricalDistribution(np.asarray(self.prior, dtype=np.float64))
+        if self.config.delta is not None:
+            check_bound_feasible(self.prior.probabilities, self.config.delta)
+        self._problem = RRMatrixProblem(
+            prior=self.prior,
+            n_records=self.n_records,
+            delta=self.config.delta,
+            mutation_scale=self.config.mutation_scale,
+            diagonal_bias=self.config.diagonal_bias,
+        )
+
+    @property
+    def problem(self) -> RRMatrixProblem:
+        """The underlying EMOO problem (exposed for ablations and tests)."""
+        return self._problem
+
+    def _termination(self) -> TerminationCriterion:
+        criterion: TerminationCriterion = MaxGenerations(self.config.n_generations)
+        if self.config.stagnation_patience is not None:
+            criterion = criterion | StagnationTermination(self.config.stagnation_patience)
+        return criterion
+
+    def run(
+        self,
+        *,
+        seed: SeedLike = None,
+        on_generation: ProgressCallback | None = None,
+    ) -> OptimizationResult:
+        """Run the optimization and return the resulting Pareto front.
+
+        Parameters
+        ----------
+        seed:
+            Overrides ``config.seed`` when provided.
+        on_generation:
+            Optional callback invoked after every generation.
+        """
+        config = self.config
+        rng = as_rng(seed if seed is not None else config.seed)
+        termination = self._termination()
+        termination.reset()
+        problem = self._problem
+
+        population = problem.initial_population(config.population_size, rng)
+        baseline_seeds = self._baseline_seed_individuals(rng)
+        if not population:
+            raise OptimizationError("initial population is empty")
+        archive: list[Individual] = []
+        optimal_set = OptimalSet(config.optimal_set_size)
+        optimal_set.offer_many(population)
+        # The full baseline sweep goes straight into Ω (O(1) per matrix); only
+        # a thin, evenly spaced subset joins the evolving population so the
+        # per-generation selection cost stays bounded.
+        optimal_set.offer_many(baseline_seeds)
+        if baseline_seeds:
+            stride = max(1, len(baseline_seeds) // 25)
+            population.extend(baseline_seeds[::stride])
+
+        generation = 0
+        while True:
+            # 1-2. Fitness assignment + environmental selection on Q_t + V_t.
+            union = population + archive
+            archive = environmental_selection(
+                union, config.archive_size, density_k=config.density_k
+            )
+            # 3-5. Mating selection, crossover, mutation, bound repair.
+            offspring_genomes = self._make_offspring(archive, rng)
+            population = problem.evaluate_genomes(offspring_genomes)
+            # 6. Update the three sets: Ω absorbs the new generation, and the
+            # archive/population are refreshed with Ω's best matrices for the
+            # privacy levels they already occupy.
+            updates = optimal_set.offer_many(population)
+            updates += optimal_set.offer_many(archive)
+            self._refresh_from_optimal_set(population, optimal_set)
+            self._refresh_from_optimal_set(archive, optimal_set)
+            if on_generation is not None:
+                on_generation(generation, archive, optimal_set)
+            # 7. Termination.
+            state = GenerationState(generation=generation, archive_updates=updates)
+            if termination.should_stop(state):
+                break
+            generation += 1
+
+        front = optimal_set.pareto_members()
+        if not front:
+            # No feasible matrix was ever found (possible only with an
+            # extremely tight delta); fall back to the archive so the caller
+            # still gets diagnostics.
+            front = archive
+        result = OptimizationResult.from_individuals(
+            front,
+            optimal_set.members(),
+            n_generations=generation + 1,
+            n_evaluations=problem.n_evaluations,
+        )
+        logger.debug(
+            "OptRR finished: %d generations, %d evaluations, front size %d, "
+            "privacy range %s",
+            result.n_generations,
+            result.n_evaluations,
+            len(result),
+            result.privacy_range if len(result) else "n/a",
+        )
+        return result
+
+    # -- internals -----------------------------------------------------------
+    def _baseline_seed_individuals(self, rng: np.random.Generator) -> list[Individual]:
+        """Warm-start individuals: Warner-family matrices (bound-repaired when
+        a ``delta`` is configured), evaluated like any other candidate.
+
+        Warner matrices are ordinary points of the search space; starting the
+        optimal set Ω from the classic front and improving on it reproduces
+        the behaviour the paper reaches after 20 000 random-start generations
+        within the few hundred generations this reproduction runs by default.
+        """
+        config = self.config
+        if config.baseline_seeds <= 0:
+            return []
+        from repro.rr.schemes import warner_matrix
+
+        n = self.prior.n_categories
+        # Sweep the full Warner family, p in [0, 1] (the same grid as the
+        # baseline comparison); p below 1/n produces the "anti-diagonal"
+        # branch that matters at the high-privacy end of the front.
+        retention_values = np.linspace(0.0, 1.0, config.baseline_seeds)
+        individuals = []
+        for retention in retention_values:
+            matrix = warner_matrix(n, float(retention))
+            matrix = self._problem.repair(matrix, rng)
+            individuals.append(self._problem.evaluate(matrix))
+        return individuals
+
+    def _make_offspring(
+        self, archive: list[Individual], rng: np.random.Generator
+    ) -> list:
+        """Mating selection, crossover, mutation and bound repair."""
+        config = self.config
+        problem = self._problem
+        assign_spea2_fitness(archive, config.density_k)
+        parents = binary_tournament(archive, config.population_size, seed=rng)
+        genomes = []
+        for index in range(0, len(parents), 2):
+            first = parents[index].genome
+            second = parents[(index + 1) % len(parents)].genome
+            if rng.random() < config.crossover_rate:
+                child_a, child_b = problem.crossover(first, second, rng)
+            else:
+                child_a, child_b = first, second
+            genomes.extend([child_a, child_b])
+        genomes = genomes[: config.population_size]
+        finished = []
+        for genome in genomes:
+            if rng.random() < config.mutation_rate:
+                genome = problem.mutate(genome, rng)
+            finished.append(problem.repair(genome, rng))
+        return finished
+
+    def _refresh_from_optimal_set(
+        self, individuals: list[Individual], optimal_set: OptimalSet
+    ) -> None:
+        """Replace evolving individuals with strictly better Ω occupants of the
+        same privacy slot (the reverse direction of the Ω update)."""
+        for index, individual in enumerate(individuals):
+            if not individual.feasible or "privacy" not in individual.metadata:
+                continue
+            slot = optimal_set.slot_of(float(individual.metadata["privacy"]))
+            occupant = optimal_set.best_for_slot(slot)
+            if occupant is None:
+                continue
+            if float(occupant.metadata["utility"]) < float(individual.metadata["utility"]):
+                individuals[index] = occupant.copy()

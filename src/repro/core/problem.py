@@ -1,0 +1,128 @@
+"""The RR-matrix optimization problem plugged into the EMOO engine.
+
+Genomes are :class:`~repro.rr.matrix.RRMatrix` objects; the two minimised
+objectives are ``(-privacy, utility)``; the variation operators are the
+paper's column crossover and proportional column mutation; and the repair
+step enforces the worst-case privacy bound ``delta`` when one is configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.operators import (
+    column_crossover,
+    enforce_privacy_bound,
+    proportional_column_mutation,
+    random_initial_matrix,
+)
+from repro.data.distribution import CategoricalDistribution
+from repro.emoo.individual import Individual
+from repro.emoo.problem import Problem
+from repro.metrics.evaluation import MatrixEvaluator
+from repro.rr.matrix import RRMatrix
+from repro.utils.validation import check_in_unit_interval, check_positive_int
+
+
+@dataclass
+class RRMatrixProblem(Problem):
+    """Multi-objective problem: find RR matrices trading privacy vs utility.
+
+    Parameters
+    ----------
+    prior:
+        The original data distribution ``P(X)``.
+    n_records:
+        Number of records ``N`` used by the closed-form utility (Theorem 6).
+    delta:
+        Optional worst-case privacy bound (Eq. 9).
+    mutation_scale:
+        Magnitude bound of the mutation operator.
+    diagonal_bias:
+        Diagonal bias used for half of the random genomes (see
+        :func:`repro.core.operators.random_initial_matrices`).
+    """
+
+    prior: CategoricalDistribution
+    n_records: int
+    delta: float | None = None
+    mutation_scale: float = 0.3
+    diagonal_bias: float = 2.0
+    n_objectives: int = field(default=2, init=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.prior, CategoricalDistribution):
+            self.prior = CategoricalDistribution(np.asarray(self.prior, dtype=np.float64))
+        check_positive_int(self.n_records, "n_records")
+        if self.delta is not None:
+            check_in_unit_interval(self.delta, "delta", inclusive_low=False)
+        check_in_unit_interval(self.mutation_scale, "mutation_scale", inclusive_low=False)
+        self._evaluator = MatrixEvaluator(self.prior, self.n_records, self.delta)
+        self._n_evaluations = 0
+        self._counter = 0
+
+    # -- bookkeeping -----------------------------------------------------------
+    @property
+    def n_categories(self) -> int:
+        """Domain size of the optimised matrices."""
+        return self.prior.n_categories
+
+    @property
+    def n_evaluations(self) -> int:
+        """Number of matrix evaluations performed so far."""
+        return self._n_evaluations
+
+    @property
+    def evaluator(self) -> MatrixEvaluator:
+        """The underlying privacy/utility evaluator."""
+        return self._evaluator
+
+    # -- Problem interface -------------------------------------------------------
+    def random_genome(self, rng: np.random.Generator) -> RRMatrix:
+        """Create a random RR matrix, cycling through plain random,
+        diagonally-biased and near-uniform draws so the initial front spans
+        the whole privacy/utility trade-off."""
+        self._counter += 1
+        matrix = random_initial_matrix(
+            self.n_categories, rng, kind=self._counter, diagonal_bias=self.diagonal_bias
+        )
+        return self.repair(matrix, rng)
+
+    def evaluate(self, genome: RRMatrix) -> Individual:
+        """Evaluate a matrix into an individual with objectives
+        ``(-privacy, utility)``."""
+        self._n_evaluations += 1
+        evaluation = self._evaluator.evaluate(genome)
+        # Non-invertible matrices have infinite utility; replace by a large
+        # finite penalty so objective arrays stay finite for the indicators.
+        utility = evaluation.utility if np.isfinite(evaluation.utility) else 1e6
+        individual = Individual(
+            genome=genome,
+            objectives=np.array([-evaluation.privacy, utility], dtype=np.float64),
+            feasible=evaluation.feasible,
+            metadata={
+                "privacy": evaluation.privacy,
+                "utility": evaluation.utility,
+                "max_posterior": evaluation.max_posterior,
+                "invertible": evaluation.invertible,
+            },
+        )
+        return individual
+
+    def crossover(
+        self, first: RRMatrix, second: RRMatrix, rng: np.random.Generator
+    ) -> tuple[RRMatrix, RRMatrix]:
+        """The paper's column-boundary crossover."""
+        return column_crossover(first, second, rng)
+
+    def mutate(self, genome: RRMatrix, rng: np.random.Generator) -> RRMatrix:
+        """The paper's proportional column mutation."""
+        return proportional_column_mutation(genome, rng, scale=self.mutation_scale)
+
+    def repair(self, genome: RRMatrix, rng: np.random.Generator) -> RRMatrix:
+        """Enforce the privacy bound when one is configured (Section V-G)."""
+        if self.delta is None:
+            return genome
+        return enforce_privacy_bound(genome, self.prior.probabilities, self.delta)

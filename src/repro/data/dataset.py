@@ -1,0 +1,215 @@
+"""Categorical datasets: attribute metadata plus integer-coded records.
+
+The RR mechanism, the estimators and the mining applications all operate on
+integer-coded categorical columns.  :class:`CategoricalDataset` bundles one or
+more such columns with their attribute metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.distribution import CategoricalDistribution
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class CategoricalAttribute:
+    """Metadata of a categorical attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute name (e.g. ``"age"``).
+    categories:
+        Ordered category labels; the integer code of a value is its index in
+        this tuple.
+    """
+
+    name: str
+    categories: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataError("attribute name must not be empty")
+        labels = tuple(str(label) for label in self.categories)
+        if len(labels) < 2:
+            raise DataError(f"attribute {self.name!r} needs at least two categories")
+        if len(set(labels)) != len(labels):
+            raise DataError(f"attribute {self.name!r} has duplicate category labels")
+        object.__setattr__(self, "categories", labels)
+
+    @property
+    def n_categories(self) -> int:
+        """Number of categories of this attribute."""
+        return len(self.categories)
+
+    def code_of(self, label: str) -> int:
+        """Return the integer code of ``label``."""
+        try:
+            return self.categories.index(str(label))
+        except ValueError as exc:
+            raise DataError(
+                f"unknown category {label!r} for attribute {self.name!r}"
+            ) from exc
+
+    def label_of(self, code: int) -> str:
+        """Return the label of integer ``code``."""
+        if not 0 <= code < self.n_categories:
+            raise DataError(
+                f"code {code} out of range for attribute {self.name!r} "
+                f"with {self.n_categories} categories"
+            )
+        return self.categories[code]
+
+
+@dataclass(frozen=True)
+class CategoricalDataset:
+    """An integer-coded categorical dataset.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute metadata, one entry per column.
+    records:
+        2-D integer array of shape ``(n_records, n_attributes)``; entry
+        ``records[r, a]`` is the category code of record ``r`` for attribute
+        ``a``.
+    """
+
+    attributes: tuple[CategoricalAttribute, ...]
+    records: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        attributes = tuple(self.attributes)
+        if not attributes:
+            raise DataError("dataset needs at least one attribute")
+        names = [attribute.name for attribute in attributes]
+        if len(set(names)) != len(names):
+            raise DataError("attribute names must be unique")
+        records = np.asarray(self.records, dtype=np.int64)
+        if records.ndim == 1:
+            records = records.reshape(-1, 1)
+        if records.ndim != 2:
+            raise DataError(f"records must be 2-D, got shape {records.shape}")
+        if records.shape[1] != len(attributes):
+            raise DataError(
+                f"records have {records.shape[1]} columns but "
+                f"{len(attributes)} attributes were declared"
+            )
+        if records.shape[0] == 0:
+            raise DataError("dataset must contain at least one record")
+        for index, attribute in enumerate(attributes):
+            column = records[:, index]
+            if column.min() < 0 or column.max() >= attribute.n_categories:
+                raise DataError(
+                    f"column {attribute.name!r} contains codes outside "
+                    f"[0, {attribute.n_categories})"
+                )
+        object.__setattr__(self, "attributes", attributes)
+        object.__setattr__(self, "records", records)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_single_attribute(
+        cls,
+        values: Sequence[int] | np.ndarray,
+        n_categories: int,
+        name: str = "attribute",
+        categories: Sequence[str] | None = None,
+    ) -> "CategoricalDataset":
+        """Build a one-attribute dataset from integer codes."""
+        if categories is None:
+            categories = tuple(f"c{i + 1}" for i in range(n_categories))
+        attribute = CategoricalAttribute(name, tuple(categories))
+        return cls((attribute,), np.asarray(values, dtype=np.int64).reshape(-1, 1))
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Mapping[str, Sequence[int] | np.ndarray],
+        category_labels: Mapping[str, Sequence[str]],
+    ) -> "CategoricalDataset":
+        """Build a dataset from named columns and their category labels."""
+        attributes = []
+        arrays = []
+        for name, values in columns.items():
+            labels = tuple(category_labels[name])
+            attributes.append(CategoricalAttribute(name, labels))
+            arrays.append(np.asarray(values, dtype=np.int64))
+        records = np.column_stack(arrays)
+        return cls(tuple(attributes), records)
+
+    # -- basic protocol ----------------------------------------------------
+    @property
+    def n_records(self) -> int:
+        """Number of records."""
+        return int(self.records.shape[0])
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of attributes (columns)."""
+        return int(self.records.shape[1])
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Names of all attributes, in column order."""
+        return tuple(attribute.name for attribute in self.attributes)
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.records)
+
+    # -- access ------------------------------------------------------------
+    def attribute_index(self, name: str) -> int:
+        """Return the column index of attribute ``name``."""
+        try:
+            return self.attribute_names.index(name)
+        except ValueError as exc:
+            raise DataError(f"unknown attribute {name!r}") from exc
+
+    def attribute(self, name: str) -> CategoricalAttribute:
+        """Return the metadata of attribute ``name``."""
+        return self.attributes[self.attribute_index(name)]
+
+    def column(self, name: str) -> np.ndarray:
+        """Return a copy of the integer-coded column for attribute ``name``."""
+        return self.records[:, self.attribute_index(name)].copy()
+
+    def distribution(self, name: str) -> CategoricalDistribution:
+        """Return the empirical distribution of attribute ``name``."""
+        attribute = self.attribute(name)
+        return CategoricalDistribution.from_samples(
+            self.column(name), attribute.n_categories, attribute.categories
+        )
+
+    def select(self, names: Sequence[str]) -> "CategoricalDataset":
+        """Return a new dataset containing only the named attributes."""
+        indices = [self.attribute_index(name) for name in names]
+        attributes = tuple(self.attributes[index] for index in indices)
+        return CategoricalDataset(attributes, self.records[:, indices].copy())
+
+    def with_column(self, name: str, values: np.ndarray) -> "CategoricalDataset":
+        """Return a copy of the dataset with attribute ``name`` replaced by
+        ``values`` (same length, same domain)."""
+        index = self.attribute_index(name)
+        records = self.records.copy()
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape != (self.n_records,):
+            raise DataError(
+                f"replacement column must have shape ({self.n_records},), "
+                f"got {values.shape}"
+            )
+        records[:, index] = values
+        return CategoricalDataset(self.attributes, records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CategoricalDataset(n_records={self.n_records}, "
+            f"attributes={list(self.attribute_names)})"
+        )

@@ -1,0 +1,93 @@
+"""Discretisation of continuous attributes into categorical codes.
+
+The Adult dataset mixes categorical and continuous attributes; the paper
+discretises the continuous ones before applying randomized response.  These
+helpers implement the two standard strategies (equal-width and
+equal-frequency binning) and return both the codes and the bin edges so the
+discretisation is reproducible and invertible to ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class DiscretizationResult:
+    """Result of discretising a continuous column.
+
+    Attributes
+    ----------
+    codes:
+        Integer bin index of every input value (``0 .. n_bins - 1``).
+    edges:
+        Bin edges of length ``n_bins + 1``; bin ``i`` covers
+        ``[edges[i], edges[i + 1])`` (the last bin is right-inclusive).
+    labels:
+        Human-readable interval label per bin.
+    """
+
+    codes: np.ndarray
+    edges: np.ndarray
+    labels: tuple[str, ...]
+
+    @property
+    def n_bins(self) -> int:
+        """Number of bins produced."""
+        return len(self.labels)
+
+
+def _build_labels(edges: np.ndarray) -> tuple[str, ...]:
+    labels = []
+    for index in range(edges.size - 1):
+        low, high = edges[index], edges[index + 1]
+        closer = "]" if index == edges.size - 2 else ")"
+        labels.append(f"[{low:g}, {high:g}{closer}")
+    return tuple(labels)
+
+
+def _validate_values(values: np.ndarray | list[float]) -> np.ndarray:
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1 or array.size == 0:
+        raise DataError("values must be a non-empty one-dimensional sequence")
+    if not np.all(np.isfinite(array)):
+        raise DataError("values must be finite")
+    return array
+
+
+def discretize_equal_width(
+    values: np.ndarray | list[float], n_bins: int
+) -> DiscretizationResult:
+    """Discretise ``values`` into ``n_bins`` equal-width bins."""
+    check_positive_int(n_bins, "n_bins")
+    array = _validate_values(values)
+    low, high = float(array.min()), float(array.max())
+    if low == high:
+        raise DataError("values are constant and cannot be discretised")
+    edges = np.linspace(low, high, n_bins + 1)
+    codes = np.clip(np.searchsorted(edges, array, side="right") - 1, 0, n_bins - 1)
+    return DiscretizationResult(codes.astype(np.int64), edges, _build_labels(edges))
+
+
+def discretize_equal_frequency(
+    values: np.ndarray | list[float], n_bins: int
+) -> DiscretizationResult:
+    """Discretise ``values`` into (approximately) equal-frequency bins.
+
+    Bin edges are the empirical quantiles.  Duplicate quantiles (heavily tied
+    data) are collapsed, so the result may contain fewer than ``n_bins`` bins.
+    """
+    check_positive_int(n_bins, "n_bins")
+    array = _validate_values(values)
+    quantiles = np.linspace(0.0, 1.0, n_bins + 1)
+    edges = np.unique(np.quantile(array, quantiles))
+    if edges.size < 2:
+        raise DataError("values are constant and cannot be discretised")
+    n_actual = edges.size - 1
+    codes = np.clip(np.searchsorted(edges, array, side="right") - 1, 0, n_actual - 1)
+    return DiscretizationResult(codes.astype(np.int64), edges, _build_labels(edges))

@@ -1,0 +1,58 @@
+"""Evolutionary multi-objective optimization (EMOO) substrate.
+
+A generic implementation of SPEA2 (the algorithm the paper builds on),
+together with the NSGA-II and weighted-sum baselines used by the ablation
+benchmarks, Pareto dominance utilities and front-quality indicators.
+
+The package is problem-agnostic: a problem supplies genome creation,
+variation operators and an objective function through the
+:class:`~repro.emoo.problem.Problem` interface, and the algorithms work on
+opaque genomes.  ``repro.core`` instantiates it with RR matrices as genomes.
+"""
+
+from repro.emoo.individual import Individual
+from repro.emoo.dominance import dominates, non_dominated, pareto_ranks
+from repro.emoo.fitness import assign_spea2_fitness
+from repro.emoo.density import kth_nearest_distances, spea2_density
+from repro.emoo.selection import binary_tournament, environmental_selection
+from repro.emoo.problem import Problem
+from repro.emoo.spea2 import SPEA2, SPEA2Settings
+from repro.emoo.nsga2 import NSGA2, NSGA2Settings
+from repro.emoo.weighted_sum import WeightedSumGA, WeightedSumSettings
+from repro.emoo.indicators import (
+    coverage,
+    epsilon_indicator,
+    hypervolume_2d,
+    spread_2d,
+)
+from repro.emoo.termination import (
+    MaxGenerations,
+    StagnationTermination,
+    TerminationCriterion,
+)
+
+__all__ = [
+    "Individual",
+    "MaxGenerations",
+    "NSGA2",
+    "NSGA2Settings",
+    "Problem",
+    "SPEA2",
+    "SPEA2Settings",
+    "StagnationTermination",
+    "TerminationCriterion",
+    "WeightedSumGA",
+    "WeightedSumSettings",
+    "assign_spea2_fitness",
+    "binary_tournament",
+    "coverage",
+    "dominates",
+    "environmental_selection",
+    "epsilon_indicator",
+    "hypervolume_2d",
+    "kth_nearest_distances",
+    "non_dominated",
+    "pareto_ranks",
+    "spea2_density",
+    "spread_2d",
+]

@@ -1,0 +1,112 @@
+"""Pareto dominance relations (Definition 5.1 in the paper).
+
+All objectives are minimised.  Constrained dominance is used: a feasible
+individual dominates any infeasible one; two infeasible individuals are
+compared on their objectives like feasible ones (so the population can still
+be driven towards feasibility).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.emoo.individual import Individual, objectives_array
+
+
+def dominates(first: Individual, second: Individual) -> bool:
+    """Whether ``first`` Pareto-dominates ``second``.
+
+    ``first`` dominates ``second`` when it is no worse in every objective and
+    strictly better in at least one, with feasibility taking precedence.
+    """
+    if first.feasible and not second.feasible:
+        return True
+    if second.feasible and not first.feasible:
+        return False
+    a, b = first.objectives, second.objectives
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def dominance_matrix(population: list[Individual]) -> np.ndarray:
+    """Boolean matrix ``D`` with ``D[i, j] = True`` iff individual ``i``
+    dominates individual ``j``.  Vectorised so fitness assignment over a few
+    hundred individuals stays fast."""
+    size = len(population)
+    if size == 0:
+        return np.zeros((0, 0), dtype=bool)
+    objectives = objectives_array(population)
+    feasible = np.array([individual.feasible for individual in population], dtype=bool)
+    less_equal = np.all(objectives[:, None, :] <= objectives[None, :, :], axis=2)
+    strictly_less = np.any(objectives[:, None, :] < objectives[None, :, :], axis=2)
+    objective_dominance = less_equal & strictly_less
+    feasibility_dominance = feasible[:, None] & ~feasible[None, :]
+    same_feasibility = feasible[:, None] == feasible[None, :]
+    matrix = feasibility_dominance | (same_feasibility & objective_dominance)
+    np.fill_diagonal(matrix, False)
+    return matrix
+
+
+def non_dominated(population: list[Individual]) -> list[Individual]:
+    """Return the non-dominated subset of ``population``."""
+    if not population:
+        return []
+    matrix = dominance_matrix(population)
+    dominated = matrix.any(axis=0)
+    return [individual for individual, flag in zip(population, dominated) if not flag]
+
+
+def pareto_ranks(population: list[Individual]) -> np.ndarray:
+    """Non-dominated sorting ranks (0 = first front), as used by NSGA-II.
+
+    Also writes the rank back onto each individual's ``rank`` attribute.
+    """
+    size = len(population)
+    ranks = np.full(size, -1, dtype=np.int64)
+    if size == 0:
+        return ranks
+    matrix = dominance_matrix(population)
+    domination_counts = matrix.sum(axis=0).astype(np.int64)
+    dominated_sets = [np.flatnonzero(matrix[index]) for index in range(size)]
+    current_front = list(np.flatnonzero(domination_counts == 0))
+    front_index = 0
+    remaining = size
+    while current_front:
+        next_front: list[int] = []
+        for index in current_front:
+            ranks[index] = front_index
+            remaining -= 1
+            for dominated_index in dominated_sets[index]:
+                domination_counts[dominated_index] -= 1
+                if domination_counts[dominated_index] == 0:
+                    next_front.append(int(dominated_index))
+        current_front = next_front
+        front_index += 1
+    # Defensive: every individual must have been assigned a rank.
+    assert remaining == 0, "non-dominated sorting failed to rank every individual"
+    for individual, rank in zip(population, ranks):
+        individual.rank = int(rank)
+    return ranks
+
+
+def non_dominated_objectives(objectives: np.ndarray) -> np.ndarray:
+    """Filter a raw objective array down to its non-dominated rows.
+
+    A convenience for working with plain ``(n_points, n_objectives)`` arrays
+    (e.g. baseline scheme sweeps) without wrapping them in individuals.
+    """
+    points = np.asarray(objectives, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"objectives must be 2-D, got shape {points.shape}")
+    if points.shape[0] == 0:
+        return points
+    keep = np.ones(points.shape[0], dtype=bool)
+    for index in range(points.shape[0]):
+        if not keep[index]:
+            continue
+        others = points[keep]
+        dominated = np.any(
+            np.all(others <= points[index], axis=1) & np.any(others < points[index], axis=1)
+        )
+        if dominated:
+            keep[index] = False
+    return points[keep]

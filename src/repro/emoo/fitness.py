@@ -1,0 +1,49 @@
+"""SPEA2 fitness assignment (Section V-B of the paper).
+
+Fitness is assigned to the union of the archive and the population:
+
+1. every individual ``i`` gets a *strength* ``S(i)`` — the number of
+   individuals it dominates;
+2. the *raw fitness* ``F'(i)`` is the sum of the strengths of all individuals
+   that dominate ``i`` (0 for non-dominated individuals);
+3. the *density* ``d(i) = 1 / (sigma_i^k + 2)`` breaks ties;
+4. the final fitness is ``F(i) = F'(i) + d(i)``.
+
+Lower fitness is better; non-dominated individuals are exactly those with
+``F(i) < 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.emoo.density import spea2_density
+from repro.emoo.dominance import dominance_matrix
+from repro.emoo.individual import Individual, objectives_array
+
+
+def assign_spea2_fitness(population: list[Individual], k: int = 1) -> None:
+    """Assign SPEA2 fitness in place to every individual in ``population``.
+
+    ``population`` should be the multiset union of the current archive and
+    the current population (the paper's ``Q_t + V_t``).
+    """
+    if not population:
+        return
+    matrix = dominance_matrix(population)
+    strengths = matrix.sum(axis=1)
+    raw_fitness = (matrix * strengths[:, None]).sum(axis=0).astype(np.float64)
+    densities = spea2_density(objectives_array(population), k)
+    for index, individual in enumerate(population):
+        individual.strength = int(strengths[index])
+        individual.density = float(densities[index])
+        individual.fitness = float(raw_fitness[index] + densities[index])
+
+
+def non_dominated_by_fitness(population: list[Individual]) -> list[Individual]:
+    """Individuals whose SPEA2 fitness marks them as non-dominated (F < 1).
+
+    ``assign_spea2_fitness`` must have been called on the same population
+    first.
+    """
+    return [individual for individual in population if individual.fitness < 1.0]

@@ -1,0 +1,53 @@
+"""The problem interface consumed by the EMOO algorithms.
+
+A problem knows how to create random genomes, evaluate them into objective
+vectors (minimisation convention), and produce offspring via crossover and
+mutation.  Algorithms never look inside genomes, so the same engine optimises
+RR matrices (``repro.core``) and any other representation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.emoo.individual import Individual
+
+
+class Problem(ABC):
+    """A multi-objective optimization problem."""
+
+    #: Number of objectives (all minimised).
+    n_objectives: int = 2
+
+    @abstractmethod
+    def random_genome(self, rng: np.random.Generator) -> Any:
+        """Create one random genome."""
+
+    @abstractmethod
+    def evaluate(self, genome: Any) -> Individual:
+        """Evaluate ``genome`` into an :class:`Individual` (objectives are
+        minimised; set ``feasible=False`` for constraint violations)."""
+
+    @abstractmethod
+    def crossover(self, first: Any, second: Any, rng: np.random.Generator) -> tuple[Any, Any]:
+        """Produce two child genomes from two parent genomes."""
+
+    @abstractmethod
+    def mutate(self, genome: Any, rng: np.random.Generator) -> Any:
+        """Return a mutated copy of ``genome``."""
+
+    def repair(self, genome: Any, rng: np.random.Generator) -> Any:
+        """Repair a genome after variation (default: no repair)."""
+        return genome
+
+    # -- convenience --------------------------------------------------------
+    def initial_population(self, size: int, rng: np.random.Generator) -> list[Individual]:
+        """Create and evaluate ``size`` random individuals."""
+        return [self.evaluate(self.random_genome(rng)) for _ in range(size)]
+
+    def evaluate_genomes(self, genomes: Sequence[Any]) -> list[Individual]:
+        """Evaluate a batch of genomes."""
+        return [self.evaluate(genome) for genome in genomes]

@@ -1,0 +1,117 @@
+"""Environmental and mating selection (Sections V-C and V-D of the paper).
+
+Environmental selection builds the next archive from the union of the current
+archive and population: all non-dominated individuals are copied; an underfull
+archive is topped up with the best dominated individuals; an overfull archive
+is truncated by iteratively removing the individual with the smallest
+nearest-neighbour distance (ties broken on the next-nearest neighbour, and so
+on), which preserves diversity along the front.
+
+Mating selection is a binary tournament on fitness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.emoo.density import pairwise_distances
+from repro.emoo.fitness import assign_spea2_fitness
+from repro.emoo.individual import Individual, objectives_array
+from repro.exceptions import OptimizationError
+from repro.types import SeedLike, as_rng
+from repro.utils.validation import check_positive_int
+
+
+def environmental_selection(
+    union: list[Individual],
+    archive_size: int,
+    *,
+    density_k: int = 1,
+    assign_fitness: bool = True,
+) -> list[Individual]:
+    """Select the next archive of exactly ``archive_size`` individuals.
+
+    Parameters
+    ----------
+    union:
+        The multiset union of the current population and archive.
+    archive_size:
+        Target archive size ``N_V``.
+    density_k:
+        The ``k`` used by the density estimator during fitness assignment.
+    assign_fitness:
+        When True (default) SPEA2 fitness is (re)assigned to ``union`` first.
+    """
+    check_positive_int(archive_size, "archive_size")
+    if not union:
+        raise OptimizationError("environmental selection needs a non-empty union")
+    if assign_fitness:
+        assign_spea2_fitness(union, density_k)
+    non_dominated = [individual for individual in union if individual.fitness < 1.0]
+    if len(non_dominated) == archive_size:
+        return list(non_dominated)
+    if len(non_dominated) < archive_size:
+        dominated = sorted(
+            (individual for individual in union if individual.fitness >= 1.0),
+            key=lambda individual: individual.fitness,
+        )
+        needed = archive_size - len(non_dominated)
+        return list(non_dominated) + dominated[:needed]
+    return truncate_archive(non_dominated, archive_size)
+
+
+def truncate_archive(archive: list[Individual], target_size: int) -> list[Individual]:
+    """Iteratively remove the most crowded individuals until ``target_size``.
+
+    At each step the individual with the lexicographically smallest vector of
+    sorted nearest-neighbour distances is removed, exactly as in SPEA2.
+    """
+    check_positive_int(target_size, "target_size")
+    survivors = list(archive)
+    if len(survivors) <= target_size:
+        return survivors
+    distances = pairwise_distances(objectives_array(survivors))
+    np.fill_diagonal(distances, np.inf)
+    alive = list(range(len(survivors)))
+    while len(alive) > target_size:
+        sub = distances[np.ix_(alive, alive)]
+        sorted_rows = np.sort(sub, axis=1)
+        # Lexicographic argmin over rows of sorted neighbour distances.
+        worst_position = 0
+        for position in range(1, len(alive)):
+            if _lexicographically_smaller(sorted_rows[position], sorted_rows[worst_position]):
+                worst_position = position
+        del alive[worst_position]
+    return [survivors[index] for index in alive]
+
+
+def _lexicographically_smaller(first: np.ndarray, second: np.ndarray) -> bool:
+    """Whether distance vector ``first`` is lexicographically smaller."""
+    for a, b in zip(first, second):
+        if a < b:
+            return True
+        if a > b:
+            return False
+    return False
+
+
+def binary_tournament(
+    pool: list[Individual],
+    n_selections: int,
+    seed: SeedLike = None,
+) -> list[Individual]:
+    """Binary tournament selection on fitness (lower fitness wins).
+
+    Returns ``n_selections`` individuals (with replacement across
+    tournaments).  Requires that fitness has been assigned.
+    """
+    check_positive_int(n_selections, "n_selections")
+    if not pool:
+        raise OptimizationError("mating selection needs a non-empty pool")
+    rng = as_rng(seed)
+    selected: list[Individual] = []
+    for _ in range(n_selections):
+        first, second = rng.integers(0, len(pool), size=2)
+        winner = pool[first] if pool[first].fitness <= pool[second].fitness else pool[second]
+        selected.append(winner)
+    return selected

@@ -1,0 +1,178 @@
+"""A generic SPEA2 implementation (Zitzler, Laumanns & Thiele).
+
+This is the engine the paper customises.  The algorithm keeps two bounded
+sets — a *population* of freshly generated offspring and an *archive* of the
+best solutions seen so far — and iterates fitness assignment, environmental
+selection, mating selection, crossover and mutation.  The OptRR-specific
+additions (the Ω optimal set, the bound-repair step and the RR-matrix
+operators) live in :mod:`repro.core`, which drives this engine through the
+:class:`~repro.emoo.problem.Problem` interface and the per-generation hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.emoo.dominance import non_dominated
+from repro.emoo.fitness import assign_spea2_fitness
+from repro.emoo.individual import Individual
+from repro.emoo.problem import Problem
+from repro.emoo.selection import binary_tournament, environmental_selection
+from repro.emoo.termination import GenerationState, MaxGenerations, TerminationCriterion
+from repro.exceptions import OptimizationError
+from repro.types import SeedLike, as_rng
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_in_unit_interval, check_positive_int
+
+logger = get_logger(__name__)
+
+#: Callback invoked after each generation with (generation index, archive).
+GenerationCallback = Callable[[int, list[Individual]], None]
+
+
+@dataclass(frozen=True)
+class SPEA2Settings:
+    """Hyper-parameters of the SPEA2 run.
+
+    Parameters
+    ----------
+    population_size:
+        Size ``N_Q`` of the offspring population generated every iteration.
+    archive_size:
+        Size ``N_V`` of the elite archive kept between iterations.
+    crossover_rate:
+        Probability that a parent pair undergoes crossover (otherwise the
+        parents are copied).
+    mutation_rate:
+        Probability that each child is mutated.
+    density_k:
+        Neighbour index used by the density estimator (the paper uses 1).
+    """
+
+    population_size: int = 50
+    archive_size: int = 50
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.3
+    density_k: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.population_size, "population_size")
+        check_positive_int(self.archive_size, "archive_size")
+        check_in_unit_interval(self.crossover_rate, "crossover_rate")
+        check_in_unit_interval(self.mutation_rate, "mutation_rate")
+        check_positive_int(self.density_k, "density_k")
+
+
+@dataclass
+class SPEA2Result:
+    """Outcome of a SPEA2 run.
+
+    Attributes
+    ----------
+    archive:
+        Final archive (bounded elite set).
+    front:
+        Non-dominated subset of the final archive.
+    n_generations:
+        Number of generations executed.
+    n_evaluations:
+        Total number of objective evaluations performed.
+    """
+
+    archive: list[Individual]
+    front: list[Individual]
+    n_generations: int
+    n_evaluations: int
+
+
+@dataclass
+class SPEA2:
+    """The SPEA2 evolutionary multi-objective optimizer.
+
+    Parameters
+    ----------
+    problem:
+        The problem to optimise.
+    settings:
+        Algorithm hyper-parameters.
+    termination:
+        Stopping rule; defaults to 100 generations.
+    seed:
+        Random seed or generator.
+    """
+
+    problem: Problem
+    settings: SPEA2Settings = field(default_factory=SPEA2Settings)
+    termination: TerminationCriterion = field(default_factory=lambda: MaxGenerations(100))
+    seed: SeedLike = None
+
+    def run(self, on_generation: GenerationCallback | None = None) -> SPEA2Result:
+        """Run the optimization and return the result."""
+        rng = as_rng(self.seed)
+        self.termination.reset()
+        settings = self.settings
+        population = self.problem.initial_population(settings.population_size, rng)
+        if not population:
+            raise OptimizationError("the problem produced an empty initial population")
+        archive: list[Individual] = []
+        n_evaluations = len(population)
+        generation = 0
+        while True:
+            union = population + archive
+            archive = environmental_selection(
+                union, settings.archive_size, density_k=settings.density_k
+            )
+            offspring_genomes = self._make_offspring(archive, rng)
+            population = self.problem.evaluate_genomes(offspring_genomes)
+            n_evaluations += len(population)
+            if on_generation is not None:
+                on_generation(generation, archive)
+            state = GenerationState(generation=generation, archive_updates=1)
+            if self.termination.should_stop(state):
+                break
+            generation += 1
+        # Final selection over the last population and archive.
+        final_archive = environmental_selection(
+            population + archive, settings.archive_size, density_k=settings.density_k
+        )
+        front = non_dominated(final_archive)
+        logger.debug(
+            "SPEA2 finished after %d generations (%d evaluations, front size %d)",
+            generation + 1,
+            n_evaluations,
+            len(front),
+        )
+        return SPEA2Result(
+            archive=final_archive,
+            front=front,
+            n_generations=generation + 1,
+            n_evaluations=n_evaluations,
+        )
+
+    # -- internals -----------------------------------------------------------
+    def _make_offspring(
+        self, archive: list[Individual], rng: np.random.Generator
+    ) -> list:
+        """Mating selection + crossover + mutation + repair -> genomes."""
+        settings = self.settings
+        assign_spea2_fitness(archive, settings.density_k)
+        parents = binary_tournament(archive, settings.population_size, seed=rng)
+        genomes = []
+        for index in range(0, len(parents), 2):
+            first = parents[index].genome
+            second = parents[(index + 1) % len(parents)].genome
+            if rng.random() < settings.crossover_rate:
+                child_a, child_b = self.problem.crossover(first, second, rng)
+            else:
+                child_a, child_b = first, second
+            genomes.extend([child_a, child_b])
+        genomes = genomes[: settings.population_size]
+        mutated = []
+        for genome in genomes:
+            if rng.random() < settings.mutation_rate:
+                genome = self.problem.mutate(genome, rng)
+            mutated.append(self.problem.repair(genome, rng))
+        return mutated

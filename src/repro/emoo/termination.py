@@ -1,0 +1,100 @@
+"""Termination criteria for the evolutionary algorithms (Section V-I).
+
+The paper mentions two stopping rules: a fixed generation budget and
+stagnation of the optimal set (no improvement for a number of consecutive
+generations).  Criteria can be combined with ``|`` (stop when either fires).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.exceptions import OptimizationError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class GenerationState:
+    """Snapshot handed to termination criteria after every generation.
+
+    Attributes
+    ----------
+    generation:
+        Zero-based index of the generation that just completed.
+    archive_updates:
+        Number of improvements made to the optimal set during this
+        generation (0 means the generation made no progress).
+    """
+
+    generation: int
+    archive_updates: int = 0
+
+
+class TerminationCriterion(ABC):
+    """Decides whether the evolutionary loop should stop."""
+
+    @abstractmethod
+    def should_stop(self, state: GenerationState) -> bool:
+        """Return True when the run should stop after ``state``."""
+
+    def reset(self) -> None:
+        """Reset internal counters before a new run (default: nothing)."""
+
+    def __or__(self, other: "TerminationCriterion") -> "TerminationCriterion":
+        return AnyCriterion((self, other))
+
+
+@dataclass
+class MaxGenerations(TerminationCriterion):
+    """Stop after a fixed number of generations."""
+
+    max_generations: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_generations, "max_generations")
+
+    def should_stop(self, state: GenerationState) -> bool:
+        return state.generation + 1 >= self.max_generations
+
+
+@dataclass
+class StagnationTermination(TerminationCriterion):
+    """Stop after ``patience`` consecutive generations without any update to
+    the optimal set."""
+
+    patience: int
+    _stale: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.patience, "patience")
+
+    def reset(self) -> None:
+        self._stale = 0
+
+    def should_stop(self, state: GenerationState) -> bool:
+        if state.archive_updates > 0:
+            self._stale = 0
+        else:
+            self._stale += 1
+        return self._stale >= self.patience
+
+
+@dataclass
+class AnyCriterion(TerminationCriterion):
+    """Stop when any of the wrapped criteria fires."""
+
+    criteria: tuple[TerminationCriterion, ...]
+
+    def __post_init__(self) -> None:
+        if not self.criteria:
+            raise OptimizationError("AnyCriterion needs at least one criterion")
+
+    def reset(self) -> None:
+        for criterion in self.criteria:
+            criterion.reset()
+
+    def should_stop(self, state: GenerationState) -> bool:
+        # Evaluate every criterion so stateful ones keep their counters fresh.
+        results = [criterion.should_stop(state) for criterion in self.criteria]
+        return any(results)

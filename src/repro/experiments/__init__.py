@@ -1,0 +1,15 @@
+"""Experiment harness: one runner per table/figure in the paper's evaluation."""
+
+from repro.experiments.base import ExperimentResult, ExperimentSpec
+from repro.experiments.registry import available_experiments, get_experiment, register_experiment
+from repro.experiments.runner import run_experiment
+from repro.experiments import figure4, figure5, theorem2, factsheet  # noqa: F401  (registration side effects)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "available_experiments",
+    "get_experiment",
+    "register_experiment",
+    "run_experiment",
+]

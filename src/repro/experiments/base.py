@@ -1,0 +1,112 @@
+"""Experiment specification and result objects.
+
+Every paper figure/fact is described by an :class:`ExperimentSpec` — what
+workload it runs, with which parameters, and which qualitative claim of the
+paper it checks — and produces an :class:`ExperimentResult` carrying the
+measured fronts, the comparison summary and the reproduction verdict.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.analysis.compare import FrontComparison
+from repro.analysis.front import ParetoFront
+
+#: Environment variable that overrides the number of optimizer generations in
+#: every experiment (the paper runs 20 000; CI and benchmarks use far fewer).
+GENERATIONS_ENV_VAR = "REPRO_GENERATIONS"
+
+#: Environment variable that overrides the optimizer population/archive size.
+POPULATION_ENV_VAR = "REPRO_POPULATION"
+
+
+def default_generations(fallback: int = 400) -> int:
+    """Number of generations to run, honouring the environment override."""
+    raw = os.environ.get(GENERATIONS_ENV_VAR)
+    if raw is None:
+        return fallback
+    value = int(raw)
+    if value <= 0:
+        raise ValueError(f"{GENERATIONS_ENV_VAR} must be positive, got {value}")
+    return value
+
+
+def default_population(fallback: int = 40) -> int:
+    """Population/archive size to use, honouring the environment override."""
+    raw = os.environ.get(POPULATION_ENV_VAR)
+    if raw is None:
+        return fallback
+    value = int(raw)
+    if value <= 1:
+        raise ValueError(f"{POPULATION_ENV_VAR} must be at least 2, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Static description of one experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short identifier (``fig4a``, ``fig5c``, ``thm2``, ...).
+    paper_artifact:
+        Which table/figure of the paper it reproduces.
+    description:
+        One-line description of the workload.
+    paper_claim:
+        The qualitative claim of the paper this experiment checks.
+    parameters:
+        Workload parameters (distribution, delta, N, ...).
+    runner:
+        Callable executing the experiment; receives a seed and keyword
+        overrides and returns an :class:`ExperimentResult`.
+    """
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    paper_claim: str
+    parameters: Mapping[str, object]
+    runner: Callable[..., "ExperimentResult"] = field(repr=False)
+
+    def run(self, *, seed: int = 0, **overrides) -> "ExperimentResult":
+        """Execute the experiment."""
+        return self.runner(seed=seed, **overrides)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier of the experiment that produced this result.
+    fronts:
+        The measured Pareto fronts keyed by scheme name (e.g. ``"optrr"``,
+        ``"warner"``).
+    comparison:
+        Front comparison of the OptRR front against the baseline front (None
+        for experiments that are not front comparisons, e.g. Fact 1).
+    reproduced:
+        Whether the paper's qualitative claim holds in this run.
+    summary:
+        Human-readable summary lines (printed by the benchmark harness).
+    metrics:
+        Free-form numeric results (search-space sizes, privacy ranges, ...).
+    """
+
+    experiment_id: str
+    fronts: Mapping[str, ParetoFront] = field(default_factory=dict)
+    comparison: FrontComparison | None = None
+    reproduced: bool = True
+    summary: tuple[str, ...] = ()
+    metrics: Mapping[str, float] = field(default_factory=dict)
+
+    def summary_text(self) -> str:
+        """The summary lines joined into one printable block."""
+        return "\n".join(self.summary)

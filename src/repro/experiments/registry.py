@@ -1,0 +1,31 @@
+"""Registry mapping experiment ids to their specifications."""
+
+from __future__ import annotations
+
+from repro.exceptions import ExperimentError
+from repro.experiments.base import ExperimentSpec
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register an experiment specification (id must be unique)."""
+    if spec.experiment_id in _REGISTRY:
+        raise ExperimentError(f"experiment {spec.experiment_id!r} is already registered")
+    _REGISTRY[spec.experiment_id] = spec
+    return spec
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment by id."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def available_experiments() -> tuple[str, ...]:
+    """Ids of all registered experiments, sorted."""
+    return tuple(sorted(_REGISTRY))

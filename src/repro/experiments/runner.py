@@ -1,0 +1,27 @@
+"""Top-level experiment runner used by the CLI and the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import get_experiment
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+def run_experiment(experiment_id: str, *, seed: int = 0, **overrides) -> ExperimentResult:
+    """Run the experiment registered under ``experiment_id``.
+
+    Keyword overrides are forwarded to the experiment runner; the front
+    comparison experiments accept ``n_generations`` and ``population_size``
+    so callers (benchmarks, CLI) can trade accuracy for time.
+    """
+    spec = get_experiment(experiment_id)
+    logger.info("running experiment %s (%s)", experiment_id, spec.paper_artifact)
+    result = spec.run(seed=seed, **overrides)
+    logger.info(
+        "experiment %s finished: %s",
+        experiment_id,
+        "reproduced" if result.reproduced else "diverged",
+    )
+    return result

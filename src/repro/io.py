@@ -1,0 +1,136 @@
+"""Serialization of RR matrices and optimization results.
+
+Optimized RR matrices are artefacts users want to store, version and ship to
+the data-collection clients that apply the disguise.  This module provides a
+stable JSON representation for :class:`~repro.rr.matrix.RRMatrix` and
+:class:`~repro.core.result.OptimizationResult`, with round-trip guarantees
+covered by the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.result import OptimizationResult, ParetoPoint
+from repro.exceptions import ValidationError
+from repro.rr.matrix import RRMatrix
+
+#: Format identifier embedded in every serialized document.
+FORMAT_VERSION = 1
+
+
+def matrix_to_dict(matrix: RRMatrix) -> dict[str, Any]:
+    """Serialize an RR matrix to a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "type": "rr_matrix",
+        "n_categories": matrix.n_categories,
+        "probabilities": matrix.probabilities.tolist(),
+    }
+
+
+def matrix_from_dict(document: dict[str, Any]) -> RRMatrix:
+    """Deserialize an RR matrix from :func:`matrix_to_dict` output."""
+    _check_document(document, "rr_matrix")
+    probabilities = np.asarray(document["probabilities"], dtype=np.float64)
+    matrix = RRMatrix(probabilities)
+    declared = document.get("n_categories")
+    if declared is not None and int(declared) != matrix.n_categories:
+        raise ValidationError(
+            f"declared n_categories {declared} does not match matrix size {matrix.n_categories}"
+        )
+    return matrix
+
+
+def result_to_dict(result: OptimizationResult, *, include_optimal_set: bool = False) -> dict[str, Any]:
+    """Serialize an optimization result (front + metadata) to a dictionary."""
+    def point_to_dict(point: ParetoPoint) -> dict[str, Any]:
+        return {
+            "privacy": point.privacy,
+            "utility": point.utility,
+            "max_posterior": point.max_posterior,
+            "matrix": matrix_to_dict(point.matrix),
+        }
+
+    document: dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "type": "optimization_result",
+        "n_generations": result.n_generations,
+        "n_evaluations": result.n_evaluations,
+        "points": [point_to_dict(point) for point in result.points],
+    }
+    if include_optimal_set:
+        document["optimal_set_points"] = [
+            point_to_dict(point) for point in result.optimal_set_points
+        ]
+    return document
+
+
+def result_from_dict(document: dict[str, Any]) -> OptimizationResult:
+    """Deserialize an optimization result from :func:`result_to_dict` output."""
+    _check_document(document, "optimization_result")
+
+    def point_from_dict(item: dict[str, Any]) -> ParetoPoint:
+        return ParetoPoint(
+            matrix=matrix_from_dict(item["matrix"]),
+            privacy=float(item["privacy"]),
+            utility=float(item["utility"]),
+            max_posterior=float(item["max_posterior"]),
+        )
+
+    return OptimizationResult(
+        points=tuple(point_from_dict(item) for item in document.get("points", [])),
+        optimal_set_points=tuple(
+            point_from_dict(item) for item in document.get("optimal_set_points", [])
+        ),
+        n_generations=int(document.get("n_generations", 0)),
+        n_evaluations=int(document.get("n_evaluations", 0)),
+    )
+
+
+def save_matrix(matrix: RRMatrix, path: str | Path) -> Path:
+    """Write an RR matrix to a JSON file and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(matrix_to_dict(matrix), indent=2), encoding="utf-8")
+    return path
+
+
+def load_matrix(path: str | Path) -> RRMatrix:
+    """Read an RR matrix from a JSON file written by :func:`save_matrix`."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    return matrix_from_dict(document)
+
+
+def save_result(
+    result: OptimizationResult, path: str | Path, *, include_optimal_set: bool = False
+) -> Path:
+    """Write an optimization result to a JSON file and return the path."""
+    path = Path(path)
+    document = result_to_dict(result, include_optimal_set=include_optimal_set)
+    path.write_text(json.dumps(document, indent=2), encoding="utf-8")
+    return path
+
+
+def load_result(path: str | Path) -> OptimizationResult:
+    """Read an optimization result from a JSON file written by
+    :func:`save_result`."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    return result_from_dict(document)
+
+
+def _check_document(document: dict[str, Any], expected_type: str) -> None:
+    if not isinstance(document, dict):
+        raise ValidationError("serialized document must be a JSON object")
+    if document.get("type") != expected_type:
+        raise ValidationError(
+            f"expected a {expected_type!r} document, got {document.get('type')!r}"
+        )
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported format version {version!r} (supported: {FORMAT_VERSION})"
+        )

@@ -1,0 +1,42 @@
+"""Privacy and utility quantification (Section IV of the paper)."""
+
+from repro.metrics.accuracy import (
+    AccuracyFunction,
+    ZeroOneAccuracy,
+    bayes_estimate,
+    expected_accuracy,
+)
+from repro.metrics.privacy import (
+    PrivacyReport,
+    map_estimates,
+    max_posterior,
+    posterior_matrix,
+    privacy_score,
+    satisfies_bound,
+)
+from repro.metrics.utility import (
+    UtilityReport,
+    empirical_mse,
+    theoretical_mse,
+    utility_score,
+)
+from repro.metrics.evaluation import MatrixEvaluation, MatrixEvaluator
+
+__all__ = [
+    "AccuracyFunction",
+    "MatrixEvaluation",
+    "MatrixEvaluator",
+    "PrivacyReport",
+    "UtilityReport",
+    "ZeroOneAccuracy",
+    "bayes_estimate",
+    "empirical_mse",
+    "expected_accuracy",
+    "map_estimates",
+    "max_posterior",
+    "posterior_matrix",
+    "privacy_score",
+    "satisfies_bound",
+    "theoretical_mse",
+    "utility_score",
+]

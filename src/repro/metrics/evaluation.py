@@ -1,0 +1,126 @@
+"""Combined privacy/utility evaluation of RR matrices.
+
+The evolutionary optimizer evaluates thousands of candidate matrices per
+generation; :class:`MatrixEvaluator` packages the prior, the record count and
+the privacy bound so each evaluation is a single call returning the two
+objectives plus feasibility information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.distribution import CategoricalDistribution
+from repro.exceptions import SingularMatrixError, ValidationError
+from repro.metrics.privacy import max_posterior, privacy_score
+from repro.metrics.utility import utility_score
+from repro.rr.matrix import RRMatrix
+from repro.utils.validation import check_in_unit_interval, check_positive_int
+
+
+@dataclass(frozen=True)
+class MatrixEvaluation:
+    """Privacy/utility evaluation of a single RR matrix.
+
+    Attributes
+    ----------
+    privacy:
+        ``1 - A`` (Eq. 8); larger is better.
+    utility:
+        Average closed-form MSE (Eq. 10); smaller is better.
+    max_posterior:
+        Worst-case posterior probability (Eq. 9 left-hand side).
+    feasible:
+        Whether the matrix satisfies the configured ``delta`` bound and could
+        be evaluated (i.e. was invertible).
+    invertible:
+        Whether the matrix was invertible; non-invertible matrices cannot be
+        used with the inversion estimator and receive infinite utility.
+    """
+
+    privacy: float
+    utility: float
+    max_posterior: float
+    feasible: bool
+    invertible: bool
+
+    @property
+    def objectives(self) -> np.ndarray:
+        """Objective vector in *minimisation* convention.
+
+        The optimizer minimises both objectives, so privacy (larger is
+        better) is negated: ``objectives = (-privacy, utility)``.
+        """
+        return np.array([-self.privacy, self.utility], dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class MatrixEvaluator:
+    """Evaluate RR matrices against a fixed prior, sample size and bound.
+
+    Parameters
+    ----------
+    prior:
+        The original data distribution ``P(X)`` (a distribution object or a
+        probability vector).
+    n_records:
+        Number of records ``N`` used for the closed-form MSE.
+    delta:
+        Worst-case privacy bound (Eq. 9).  ``None`` disables the bound.
+    """
+
+    prior: CategoricalDistribution
+    n_records: int
+    delta: float | None = None
+
+    def __post_init__(self) -> None:
+        prior = self.prior
+        if not isinstance(prior, CategoricalDistribution):
+            prior = CategoricalDistribution(np.asarray(prior, dtype=np.float64))
+        object.__setattr__(self, "prior", prior)
+        check_positive_int(self.n_records, "n_records")
+        if self.delta is not None:
+            check_in_unit_interval(self.delta, "delta", inclusive_low=False)
+            if self.delta < prior.max_probability - 1e-9:
+                raise ValidationError(
+                    f"delta={self.delta} is infeasible for this prior: by Theorem 5 "
+                    f"it must be at least max P(X) = {prior.max_probability:.6f}"
+                )
+
+    @property
+    def n_categories(self) -> int:
+        """Domain size of the evaluated matrices."""
+        return self.prior.n_categories
+
+    def evaluate(self, matrix: RRMatrix) -> MatrixEvaluation:
+        """Evaluate one matrix, returning privacy, utility and feasibility."""
+        if matrix.n_categories != self.n_categories:
+            raise ValidationError(
+                f"matrix domain {matrix.n_categories} does not match the prior "
+                f"domain {self.n_categories}"
+            )
+        prior_vector = self.prior.probabilities
+        privacy = privacy_score(matrix, prior_vector)
+        worst_posterior = max_posterior(matrix, prior_vector)
+        try:
+            utility = utility_score(matrix, prior_vector, self.n_records)
+            invertible = True
+        except SingularMatrixError:
+            utility = float("inf")
+            invertible = False
+        feasible = invertible
+        if self.delta is not None and worst_posterior > self.delta + 1e-9:
+            feasible = False
+        return MatrixEvaluation(
+            privacy=privacy,
+            utility=utility,
+            max_posterior=worst_posterior,
+            feasible=feasible,
+            invertible=invertible,
+        )
+
+    def evaluate_many(self, matrices: list[RRMatrix]) -> list[MatrixEvaluation]:
+        """Evaluate a batch of matrices."""
+        return [self.evaluate(matrix) for matrix in matrices]

@@ -1,0 +1,151 @@
+"""Privacy quantification (Section IV-A, Eq. 8 and Eq. 9).
+
+Privacy is ``1 - A`` where ``A`` is the adversary's expected accuracy under
+the optimal (MAP) estimation strategy:
+
+``A = sum_y P(y | x_hat_y) P(x_hat_y) = sum_y max_x [ M[y, x] P(x) ]``
+
+The worst-case constraint (Eq. 9) additionally bounds every posterior:
+``max_y max_x P(x | y) <= delta``.  Theorem 5 shows ``delta`` can never be
+smaller than the largest prior probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InfeasibleBoundError, ValidationError
+from repro.rr.matrix import RRMatrix
+from repro.utils.validation import check_in_unit_interval, check_probability_vector
+
+#: Numerical slack used when checking the delta bound, so matrices produced by
+#: the repair operator (which targets the bound exactly) are not rejected for
+#: floating-point noise.
+BOUND_ATOL = 1e-9
+
+
+def _joint_matrix(matrix: RRMatrix | np.ndarray, prior: np.ndarray) -> np.ndarray:
+    """Return ``joint[y, x] = P(Y = c_y, X = c_x) = M[y, x] P(x)``."""
+    prior = check_probability_vector(prior, "prior")
+    probabilities = matrix.probabilities if isinstance(matrix, RRMatrix) else np.asarray(matrix)
+    if probabilities.shape != (prior.size, prior.size):
+        raise ValidationError(
+            f"RR matrix shape {probabilities.shape} does not match prior of "
+            f"length {prior.size}"
+        )
+    return probabilities * prior[None, :]
+
+
+def posterior_matrix(matrix: RRMatrix | np.ndarray, prior: np.ndarray) -> np.ndarray:
+    """Posterior ``P(X = c_x | Y = c_y)`` for every (report, original) pair.
+
+    Rows index the observed report ``y``; columns index the candidate original
+    value ``x``.  Rows whose report has zero probability under the prior are
+    returned as all zeros (the report can never be observed).
+    """
+    joint = _joint_matrix(matrix, prior)
+    report_probabilities = joint.sum(axis=1, keepdims=True)
+    safe = np.where(report_probabilities > 0, report_probabilities, 1.0)
+    posterior = np.where(report_probabilities > 0, joint / safe, 0.0)
+    return posterior
+
+
+def map_estimates(matrix: RRMatrix | np.ndarray, prior: np.ndarray) -> np.ndarray:
+    """MAP estimate ``x_hat_y`` for every possible report ``y`` (Theorem 3)."""
+    posterior = posterior_matrix(matrix, prior)
+    return np.argmax(posterior, axis=1)
+
+
+def adversary_accuracy(matrix: RRMatrix | np.ndarray, prior: np.ndarray) -> float:
+    """The adversary's expected accuracy ``A`` under MAP estimation (Eq. 8
+    before the ``1 -`` complement)."""
+    joint = _joint_matrix(matrix, prior)
+    return float(joint.max(axis=1).sum())
+
+
+def privacy_score(matrix: RRMatrix | np.ndarray, prior: np.ndarray) -> float:
+    """Privacy of an RR matrix for a given prior: ``1 - A`` (Eq. 8).
+
+    Larger values mean better privacy.  The value lies in
+    ``[0, 1 - max_x P(x)]`` because the adversary can always guess the prior
+    mode.
+    """
+    return 1.0 - adversary_accuracy(matrix, prior)
+
+
+def max_posterior(matrix: RRMatrix | np.ndarray, prior: np.ndarray) -> float:
+    """The largest posterior ``max_y max_x P(x | y)`` (the quantity bounded by
+    ``delta`` in Eq. 9)."""
+    return float(posterior_matrix(matrix, prior).max())
+
+
+def satisfies_bound(
+    matrix: RRMatrix | np.ndarray,
+    prior: np.ndarray,
+    delta: float,
+    *,
+    atol: float = BOUND_ATOL,
+) -> bool:
+    """Whether the matrix satisfies the worst-case bound ``max P(X|Y) <= delta``."""
+    check_in_unit_interval(delta, "delta", inclusive_low=False)
+    return max_posterior(matrix, prior) <= delta + atol
+
+
+def check_bound_feasible(prior: np.ndarray, delta: float) -> None:
+    """Raise :class:`InfeasibleBoundError` when no RR matrix can satisfy the
+    bound ``delta`` for this prior (Theorem 5: ``delta >= max_x P(x)``)."""
+    prior = check_probability_vector(prior, "prior")
+    check_in_unit_interval(delta, "delta", inclusive_low=False)
+    if delta < prior.max() - BOUND_ATOL:
+        raise InfeasibleBoundError(
+            f"delta={delta} is below the largest prior probability "
+            f"{prior.max():.6f}; by Theorem 5 no RR matrix can satisfy it"
+        )
+
+
+@dataclass(frozen=True)
+class PrivacyReport:
+    """Full privacy analysis of one RR matrix against one prior.
+
+    Attributes
+    ----------
+    privacy:
+        The average-case privacy score ``1 - A`` (Eq. 8).
+    adversary_accuracy:
+        The adversary's expected MAP accuracy ``A``.
+    max_posterior:
+        The worst-case posterior (Eq. 9 left-hand side).
+    map_estimates:
+        MAP estimate index for every possible report.
+    posterior:
+        The full posterior matrix ``P(X | Y)``.
+    """
+
+    privacy: float
+    adversary_accuracy: float
+    max_posterior: float
+    map_estimates: np.ndarray
+    posterior: np.ndarray
+
+    def satisfies(self, delta: float, *, atol: float = BOUND_ATOL) -> bool:
+        """Whether the analysed matrix satisfies the bound ``delta``."""
+        check_in_unit_interval(delta, "delta", inclusive_low=False)
+        return self.max_posterior <= delta + atol
+
+
+def privacy_report(matrix: RRMatrix | np.ndarray, prior: np.ndarray) -> PrivacyReport:
+    """Compute the full :class:`PrivacyReport` for ``matrix`` and ``prior``."""
+    joint = _joint_matrix(matrix, prior)
+    report_probabilities = joint.sum(axis=1, keepdims=True)
+    safe = np.where(report_probabilities > 0, report_probabilities, 1.0)
+    posterior = np.where(report_probabilities > 0, joint / safe, 0.0)
+    accuracy = float(joint.max(axis=1).sum())
+    return PrivacyReport(
+        privacy=1.0 - accuracy,
+        adversary_accuracy=accuracy,
+        max_posterior=float(posterior.max()),
+        map_estimates=np.argmax(posterior, axis=1),
+        posterior=posterior,
+    )

@@ -1,0 +1,237 @@
+"""Privacy-preserving decision-tree building on disguised data.
+
+Du & Zhan's related-work system builds decision trees from randomized data by
+reconstructing the class/attribute joint distributions needed for the split
+criterion instead of counting raw records.  This module implements that idea
+on top of the contingency estimator: at every node the information gain of
+each candidate attribute is computed from a reconstructed joint distribution
+of (attribute, class) restricted to the node's path condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.exceptions import DataError
+from repro.mining.contingency import ContingencyEstimator
+from repro.rr.matrix import RRMatrix
+from repro.utils.validation import check_positive_int
+
+
+def _entropy(probabilities: np.ndarray) -> float:
+    """Shannon entropy (nats) of a probability vector, ignoring zeros."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    positive = probabilities[probabilities > 0]
+    if positive.size == 0:
+        return 0.0
+    return float(-(positive * np.log(positive)).sum())
+
+
+@dataclass
+class DecisionTreeNode:
+    """One node of the reconstructed decision tree."""
+
+    depth: int
+    class_distribution: np.ndarray
+    split_attribute: str | None = None
+    children: dict[int, "DecisionTreeNode"] = field(default_factory=dict)
+    n_estimated: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node has no split."""
+        return self.split_attribute is None
+
+    @property
+    def predicted_class(self) -> int:
+        """Majority class according to the reconstructed distribution."""
+        return int(np.argmax(self.class_distribution))
+
+    def predict_one(self, record: Mapping[str, int]) -> int:
+        """Predict the class code of one record (a ``{attribute: code}``
+        mapping)."""
+        node: DecisionTreeNode = self
+        while not node.is_leaf:
+            value = record.get(node.split_attribute)
+            child = node.children.get(int(value)) if value is not None else None
+            if child is None:
+                break
+            node = child
+        return node.predicted_class
+
+    def count_nodes(self) -> int:
+        """Total number of nodes in the subtree rooted here."""
+        return 1 + sum(child.count_nodes() for child in self.children.values())
+
+
+@dataclass
+class DecisionTreeBuilder:
+    """Build a decision tree from RR-disguised data.
+
+    Parameters
+    ----------
+    matrices:
+        RR matrix used for each disguised attribute (attributes without a
+        matrix are treated as undisguised; the class attribute is typically
+        undisguised at the miner's site).
+    class_attribute:
+        The attribute to predict.
+    max_depth:
+        Maximum tree depth.
+    min_information_gain:
+        Minimum information gain required to split a node.
+    min_node_probability:
+        Minimum estimated probability mass of a node; branches thinner than
+        this are turned into leaves to avoid chasing reconstruction noise.
+    """
+
+    matrices: Mapping[str, RRMatrix]
+    class_attribute: str
+    max_depth: int = 3
+    min_information_gain: float = 1e-3
+    min_node_probability: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_depth, "max_depth")
+        if self.min_information_gain < 0:
+            raise DataError("min_information_gain must be non-negative")
+        if not 0 <= self.min_node_probability < 1:
+            raise DataError("min_node_probability must be in [0, 1)")
+
+    def build(
+        self,
+        disguised: CategoricalDataset,
+        candidate_attributes: list[str] | None = None,
+    ) -> DecisionTreeNode:
+        """Build the tree from a disguised dataset."""
+        if self.class_attribute not in disguised.attribute_names:
+            raise DataError(f"class attribute {self.class_attribute!r} not in dataset")
+        candidates = (
+            list(candidate_attributes)
+            if candidate_attributes is not None
+            else [name for name in disguised.attribute_names if name != self.class_attribute]
+        )
+        if self.class_attribute in candidates:
+            raise DataError("the class attribute cannot be a split candidate")
+        estimator = ContingencyEstimator(self.matrices)
+        return self._build_node(disguised, estimator, candidates, path={}, depth=0, mass=1.0)
+
+    # -- internals -------------------------------------------------------------
+    def _build_node(
+        self,
+        disguised: CategoricalDataset,
+        estimator: ContingencyEstimator,
+        candidates: list[str],
+        path: dict[str, int],
+        depth: int,
+        mass: float,
+    ) -> DecisionTreeNode:
+        class_distribution = self._class_distribution(disguised, estimator, path)
+        node = DecisionTreeNode(
+            depth=depth,
+            class_distribution=class_distribution,
+            n_estimated=mass * disguised.n_records,
+        )
+        if depth >= self.max_depth or not candidates or mass < self.min_node_probability:
+            return node
+        best_attribute, best_gain = self._best_split(disguised, estimator, candidates, path)
+        if best_attribute is None or best_gain < self.min_information_gain:
+            return node
+        node.split_attribute = best_attribute
+        attribute = disguised.attribute(best_attribute)
+        remaining = [name for name in candidates if name != best_attribute]
+        branch_table = estimator.estimate(
+            disguised, list(path.keys()) + [best_attribute]
+        ) if path else estimator.estimate(disguised, [best_attribute])
+        for code in range(attribute.n_categories):
+            branch_path = dict(path)
+            branch_path[best_attribute] = code
+            branch_mass = self._path_probability(branch_table, branch_path)
+            if branch_mass <= 0:
+                continue
+            node.children[code] = self._build_node(
+                disguised, estimator, remaining, branch_path, depth + 1, branch_mass
+            )
+        if not node.children:
+            node.split_attribute = None
+        return node
+
+    def _class_distribution(
+        self,
+        disguised: CategoricalDataset,
+        estimator: ContingencyEstimator,
+        path: dict[str, int],
+    ) -> np.ndarray:
+        attributes = list(path.keys()) + [self.class_attribute]
+        table = estimator.estimate(disguised, attributes)
+        if path:
+            return table.conditional(self.class_attribute, path)
+        return table.marginal(self.class_attribute)
+
+    def _path_probability(self, table, path: dict[str, int]) -> float:
+        relevant = {name: code for name, code in path.items() if name in table.attribute_names}
+        if not relevant:
+            return 1.0
+        # Marginalise the joint over the attributes not in the path.
+        probabilities = table.probabilities
+        names = table.attribute_names
+        slicer = tuple(
+            relevant[name] if name in relevant else slice(None) for name in names
+        )
+        selected = probabilities[slicer]
+        return float(np.clip(np.sum(selected), 0.0, 1.0))
+
+    def _best_split(
+        self,
+        disguised: CategoricalDataset,
+        estimator: ContingencyEstimator,
+        candidates: list[str],
+        path: dict[str, int],
+    ) -> tuple[str | None, float]:
+        parent_distribution = self._class_distribution(disguised, estimator, path)
+        parent_entropy = _entropy(parent_distribution)
+        best_attribute: str | None = None
+        best_gain = -np.inf
+        for name in candidates:
+            attributes = list(path.keys()) + [name, self.class_attribute]
+            table = estimator.estimate(disguised, attributes)
+            gain = self._information_gain(table, name, path, parent_entropy)
+            if gain > best_gain:
+                best_attribute, best_gain = name, gain
+        return best_attribute, float(best_gain)
+
+    def _information_gain(
+        self, table, attribute: str, path: dict[str, int], parent_entropy: float
+    ) -> float:
+        attribute_axis = table.attribute_names.index(attribute)
+        class_axis = table.attribute_names.index(self.class_attribute)
+        probabilities = table.probabilities
+        # Condition on the path attributes first.
+        slicer = []
+        for index, name in enumerate(table.attribute_names):
+            if name in path:
+                slicer.append(int(path[name]))
+            else:
+                slicer.append(slice(None))
+        conditioned = probabilities[tuple(slicer)]
+        # After slicing, the remaining axes are (attribute, class) in original
+        # order; normalise to a proper joint distribution.
+        if conditioned.ndim != 2:
+            raise DataError("unexpected contingency shape during information gain")
+        if attribute_axis > class_axis:
+            conditioned = conditioned.T
+        total = conditioned.sum()
+        if total <= 0:
+            return 0.0
+        joint = conditioned / total
+        attribute_marginal = joint.sum(axis=1)
+        conditional_entropy = 0.0
+        for value_probability, row in zip(attribute_marginal, joint):
+            if value_probability <= 0:
+                continue
+            conditional_entropy += value_probability * _entropy(row / value_probability)
+        return parent_entropy - conditional_entropy

@@ -1,0 +1,64 @@
+"""Randomized-response substrate.
+
+This package implements everything the paper assumes about the randomized
+response technique itself: the RR matrix abstraction, the classic scheme
+constructors (Warner, Uniform Perturbation, FRAPP), parametric scheme
+families, the disguise mechanism, the inversion and iterative distribution
+estimators (Theorem 1 and Eq. 3), and the multi-dimensional extension noted as
+future work.
+"""
+
+from repro.rr.matrix import RRMatrix, random_rr_matrix
+from repro.rr.schemes import (
+    frapp_matrix,
+    identity_matrix,
+    total_randomization_matrix,
+    uniform_perturbation_matrix,
+    warner_matrix,
+)
+from repro.rr.family import (
+    FrappFamily,
+    SchemeFamily,
+    UniformPerturbationFamily,
+    WarnerFamily,
+    scheme_family,
+)
+from repro.rr.randomize import RandomizedResponse
+from repro.rr.estimation import (
+    DistributionEstimate,
+    InversionEstimator,
+    IterativeEstimator,
+    estimate_distribution,
+)
+from repro.rr.multidim import MultiDimensionalRR
+from repro.rr.ldp import (
+    epsilon_for_delta_bound,
+    k_rr_matrix,
+    ldp_epsilon,
+    satisfies_ldp,
+)
+
+__all__ = [
+    "epsilon_for_delta_bound",
+    "k_rr_matrix",
+    "ldp_epsilon",
+    "satisfies_ldp",
+    "DistributionEstimate",
+    "FrappFamily",
+    "InversionEstimator",
+    "IterativeEstimator",
+    "MultiDimensionalRR",
+    "RRMatrix",
+    "RandomizedResponse",
+    "SchemeFamily",
+    "UniformPerturbationFamily",
+    "WarnerFamily",
+    "estimate_distribution",
+    "frapp_matrix",
+    "identity_matrix",
+    "random_rr_matrix",
+    "scheme_family",
+    "total_randomization_matrix",
+    "uniform_perturbation_matrix",
+    "warner_matrix",
+]

@@ -1,0 +1,103 @@
+"""The randomized-response disguise mechanism.
+
+:class:`RandomizedResponse` applies an RR matrix to integer-coded data: every
+original value ``c_i`` is independently replaced by ``c_j`` with probability
+``M[j, i]``.  The mechanism works on raw code arrays, on single attributes of
+a :class:`~repro.data.dataset.CategoricalDataset`, and on whole datasets (one
+matrix per attribute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.exceptions import DataError, RRMatrixError
+from repro.rr.matrix import RRMatrix
+from repro.types import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class RandomizedResponse:
+    """Disguise mechanism for a single categorical attribute.
+
+    Parameters
+    ----------
+    matrix:
+        The RR matrix used for disguising.
+    """
+
+    matrix: RRMatrix
+
+    @property
+    def n_categories(self) -> int:
+        """Domain size handled by this mechanism."""
+        return self.matrix.n_categories
+
+    def randomize_codes(self, codes: np.ndarray, seed: SeedLike = None) -> np.ndarray:
+        """Disguise an integer-coded value array.
+
+        Each input code ``i`` is replaced by a draw from column ``i`` of the
+        RR matrix.  The operation is vectorised with the inverse-CDF trick so
+        disguising 10^6 records takes milliseconds.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 1:
+            raise DataError(f"codes must be one-dimensional, got shape {codes.shape}")
+        if codes.size == 0:
+            raise DataError("codes must not be empty")
+        if codes.min() < 0 or codes.max() >= self.n_categories:
+            raise DataError(
+                f"codes must lie in [0, {self.n_categories}), "
+                f"got range [{codes.min()}, {codes.max()}]"
+            )
+        rng = as_rng(seed)
+        # Cumulative distribution of each column; cdf[:, i] is the CDF of the
+        # report distribution for true value c_i.
+        cdf = np.cumsum(self.matrix.probabilities, axis=0)
+        cdf[-1, :] = 1.0
+        uniforms = rng.random(codes.size)
+        # For record r with true code codes[r], find the first row j with
+        # cdf[j, codes[r]] >= uniforms[r].
+        column_cdfs = cdf[:, codes]  # shape (n, N)
+        return (uniforms[None, :] > column_cdfs).sum(axis=0).astype(np.int64)
+
+    def randomize_attribute(
+        self,
+        dataset: CategoricalDataset,
+        attribute: str,
+        seed: SeedLike = None,
+    ) -> CategoricalDataset:
+        """Return a copy of ``dataset`` with ``attribute`` disguised."""
+        metadata = dataset.attribute(attribute)
+        if metadata.n_categories != self.n_categories:
+            raise RRMatrixError(
+                f"attribute {attribute!r} has {metadata.n_categories} categories "
+                f"but the RR matrix is {self.n_categories}x{self.n_categories}"
+            )
+        disguised = self.randomize_codes(dataset.column(attribute), seed=seed)
+        return dataset.with_column(attribute, disguised)
+
+    def expected_disguised_distribution(self, prior: np.ndarray) -> np.ndarray:
+        """Return ``P* = M P`` for a prior ``P`` (Eq. 1)."""
+        return self.matrix.disguise_distribution(prior)
+
+
+def randomize_dataset(
+    dataset: CategoricalDataset,
+    matrices: dict[str, RRMatrix],
+    seed: SeedLike = None,
+) -> CategoricalDataset:
+    """Disguise several attributes of ``dataset`` (one RR matrix each).
+
+    Attributes without a matrix are left untouched.  This is the
+    one-dimensional-RR-per-attribute setting the paper focuses on.
+    """
+    rng = as_rng(seed)
+    result = dataset
+    for attribute, matrix in matrices.items():
+        mechanism = RandomizedResponse(matrix)
+        result = mechanism.randomize_attribute(result, attribute, seed=rng)
+    return result

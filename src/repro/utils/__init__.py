@@ -1,0 +1,24 @@
+"""Small shared utilities: validation, linear algebra and logging helpers."""
+
+from repro.utils.validation import (
+    check_in_unit_interval,
+    check_positive_int,
+    check_probability_vector,
+    check_square_matrix,
+    check_stochastic_columns,
+    normalize_probabilities,
+)
+from repro.utils.linalg import condition_number, safe_inverse
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "check_in_unit_interval",
+    "check_positive_int",
+    "check_probability_vector",
+    "check_square_matrix",
+    "check_stochastic_columns",
+    "condition_number",
+    "get_logger",
+    "normalize_probabilities",
+    "safe_inverse",
+]

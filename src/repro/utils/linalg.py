@@ -1,0 +1,44 @@
+"""Linear-algebra helpers for the inversion-based estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SingularMatrixError
+
+#: Matrices whose condition number exceeds this value are treated as singular
+#: for the purpose of the inversion estimator; the resulting estimates would
+#: be numerically meaningless anyway.
+DEFAULT_CONDITION_LIMIT = 1e12
+
+
+def condition_number(matrix: np.ndarray) -> float:
+    """Return the 2-norm condition number of ``matrix`` (``inf`` if singular)."""
+    try:
+        return float(np.linalg.cond(matrix))
+    except np.linalg.LinAlgError:  # pragma: no cover - defensive
+        return float("inf")
+
+
+def is_invertible(matrix: np.ndarray, *, condition_limit: float = DEFAULT_CONDITION_LIMIT) -> bool:
+    """Return ``True`` when ``matrix`` is numerically invertible."""
+    cond = condition_number(matrix)
+    return np.isfinite(cond) and cond < condition_limit
+
+
+def safe_inverse(
+    matrix: np.ndarray,
+    *,
+    condition_limit: float = DEFAULT_CONDITION_LIMIT,
+) -> np.ndarray:
+    """Invert ``matrix``, raising :class:`SingularMatrixError` when it is
+    singular or too ill-conditioned to invert reliably."""
+    cond = condition_number(matrix)
+    if not np.isfinite(cond) or cond >= condition_limit:
+        raise SingularMatrixError(
+            f"matrix is singular or ill-conditioned (condition number {cond:.3e})"
+        )
+    try:
+        return np.linalg.inv(matrix)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
+        raise SingularMatrixError("matrix could not be inverted") from exc

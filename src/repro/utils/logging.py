@@ -1,0 +1,21 @@
+"""Library logging helpers.
+
+The library never configures the root logger; applications decide how log
+records are handled.  ``get_logger`` simply namespaces loggers under
+``repro.*`` so they can be enabled selectively.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger namespaced under the library root logger."""
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

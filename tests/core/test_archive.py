@@ -1,0 +1,143 @@
+"""Tests for the optimal set Ω (repro.core.archive)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.archive import OptimalSet
+from repro.emoo.individual import Individual
+from repro.exceptions import OptimizationError
+from repro.rr.schemes import warner_matrix
+
+
+def make_member(privacy: float, utility: float, feasible: bool = True) -> Individual:
+    return Individual(
+        genome=warner_matrix(4, 0.5),
+        objectives=np.array([-privacy, utility]),
+        feasible=feasible,
+        metadata={"privacy": privacy, "utility": utility},
+    )
+
+
+class TestSlotting:
+    def test_slot_of_uses_floor(self):
+        omega = OptimalSet(size=10)
+        assert omega.slot_of(0.0) == 0
+        assert omega.slot_of(0.15) == 1
+        assert omega.slot_of(0.99) == 9
+        assert omega.slot_of(1.0) == 9  # clamped into the last slot
+
+    def test_slot_of_rejects_nan(self):
+        with pytest.raises(OptimizationError):
+            OptimalSet(10).slot_of(float("nan"))
+
+
+class TestOffer:
+    def test_accepts_first_member_of_a_slot(self):
+        omega = OptimalSet(100)
+        assert omega.offer(make_member(0.42, 1e-4))
+        assert omega.n_occupied == 1
+        assert omega.n_updates == 1
+
+    def test_better_utility_replaces_occupant(self):
+        omega = OptimalSet(100)
+        omega.offer(make_member(0.42, 1e-4))
+        assert omega.offer(make_member(0.421, 5e-5))  # same slot, lower MSE
+        assert omega.n_occupied == 1
+        occupant = omega.best_for_slot(omega.slot_of(0.42))
+        assert occupant.metadata["utility"] == pytest.approx(5e-5)
+
+    def test_worse_utility_is_rejected(self):
+        omega = OptimalSet(100)
+        omega.offer(make_member(0.42, 1e-4))
+        assert not omega.offer(make_member(0.423, 2e-4))
+        assert omega.n_updates == 1
+
+    def test_different_slots_coexist(self):
+        omega = OptimalSet(100)
+        omega.offer(make_member(0.1, 1e-4))
+        omega.offer(make_member(0.9, 1e-6))
+        assert omega.n_occupied == 2
+
+    def test_infeasible_members_are_ignored(self):
+        omega = OptimalSet(100)
+        assert not omega.offer(make_member(0.5, 1e-4, feasible=False))
+        assert omega.n_occupied == 0
+
+    def test_members_without_metadata_raise(self):
+        omega = OptimalSet(10)
+        individual = Individual(genome=None, objectives=np.array([0.0, 0.0]))
+        with pytest.raises(OptimizationError, match="metadata"):
+            omega.offer(individual)
+
+    def test_offer_many_counts_updates(self):
+        omega = OptimalSet(100)
+        members = [make_member(0.1, 1e-4), make_member(0.2, 1e-4), make_member(0.1, 2e-4)]
+        assert omega.offer_many(members) == 2
+
+    def test_infinite_utility_is_rejected(self):
+        omega = OptimalSet(10)
+        assert not omega.offer(make_member(0.3, float("inf")))
+
+    def test_stored_member_is_a_copy(self):
+        omega = OptimalSet(100)
+        member = make_member(0.33, 1e-4)
+        omega.offer(member)
+        member.metadata["utility"] = 999.0
+        occupant = omega.best_for_slot(omega.slot_of(0.33))
+        assert occupant.metadata["utility"] == pytest.approx(1e-4)
+
+
+class TestViews:
+    def test_members_ordered_by_privacy_slot(self):
+        omega = OptimalSet(100)
+        omega.offer(make_member(0.8, 1e-6))
+        omega.offer(make_member(0.2, 1e-4))
+        privacies = [member.metadata["privacy"] for member in omega.members()]
+        assert privacies == sorted(privacies)
+
+    def test_pareto_members_removes_dominated_slots(self):
+        omega = OptimalSet(100)
+        omega.offer(make_member(0.2, 1e-4))
+        omega.offer(make_member(0.5, 5e-5))   # dominates the first (more privacy, less MSE)
+        front = omega.pareto_members()
+        assert len(front) == 1
+        assert front[0].metadata["privacy"] == pytest.approx(0.5)
+
+    def test_len_and_iter(self):
+        omega = OptimalSet(50)
+        omega.offer(make_member(0.3, 1e-4))
+        assert len(omega) == 1
+        assert len(list(omega)) == 1
+
+    def test_best_for_slot_range_check(self):
+        with pytest.raises(OptimizationError):
+            OptimalSet(10).best_for_slot(10)
+
+
+class TestQueries:
+    def test_best_utility_for_privacy(self):
+        omega = OptimalSet(100)
+        omega.offer(make_member(0.3, 1e-4))
+        omega.offer(make_member(0.6, 3e-4))
+        omega.offer(make_member(0.7, 2e-4))
+        best = omega.best_utility_for_privacy(0.5)
+        assert best.metadata["privacy"] == pytest.approx(0.7)
+
+    def test_best_utility_for_privacy_unreachable(self):
+        omega = OptimalSet(100)
+        omega.offer(make_member(0.3, 1e-4))
+        assert omega.best_utility_for_privacy(0.9) is None
+
+    def test_best_privacy_for_utility(self):
+        omega = OptimalSet(100)
+        omega.offer(make_member(0.3, 1e-4))
+        omega.offer(make_member(0.6, 3e-4))
+        best = omega.best_privacy_for_utility(2e-4)
+        assert best.metadata["privacy"] == pytest.approx(0.3)
+
+    def test_best_privacy_for_utility_unreachable(self):
+        omega = OptimalSet(100)
+        omega.offer(make_member(0.3, 1e-3))
+        assert omega.best_privacy_for_utility(1e-6) is None

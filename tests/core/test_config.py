@@ -1,0 +1,62 @@
+"""Tests for repro.core.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import OptRRConfig
+from repro.exceptions import ValidationError
+
+
+class TestOptRRConfig:
+    def test_defaults_are_valid(self):
+        config = OptRRConfig()
+        assert config.population_size >= 2
+        assert config.delta is None
+
+    def test_rejects_bad_population(self):
+        with pytest.raises(Exception):
+            OptRRConfig(population_size=0)
+        with pytest.raises(ValidationError):
+            OptRRConfig(population_size=1)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(Exception):
+            OptRRConfig(delta=0.0)
+        with pytest.raises(Exception):
+            OptRRConfig(delta=1.5)
+
+    def test_rejects_bad_mutation_scale(self):
+        with pytest.raises(ValidationError):
+            OptRRConfig(mutation_scale=0.0)
+        with pytest.raises(ValidationError):
+            OptRRConfig(mutation_scale=1.5)
+
+    def test_rejects_negative_diagonal_bias(self):
+        with pytest.raises(ValidationError):
+            OptRRConfig(diagonal_bias=-0.1)
+
+    def test_stagnation_patience_optional(self):
+        assert OptRRConfig(stagnation_patience=None).stagnation_patience is None
+        assert OptRRConfig(stagnation_patience=5).stagnation_patience == 5
+        with pytest.raises(Exception):
+            OptRRConfig(stagnation_patience=0)
+
+    def test_rejects_negative_baseline_seeds(self):
+        with pytest.raises(ValidationError):
+            OptRRConfig(baseline_seeds=-1)
+
+    def test_baseline_seeds_zero_allowed(self):
+        assert OptRRConfig(baseline_seeds=0).baseline_seeds == 0
+
+    def test_with_updates_returns_modified_copy(self):
+        config = OptRRConfig(n_generations=100)
+        updated = config.with_updates(n_generations=5, delta=0.8)
+        assert updated.n_generations == 5
+        assert updated.delta == 0.8
+        assert config.n_generations == 100
+
+    def test_is_frozen(self):
+        config = OptRRConfig()
+        with pytest.raises(Exception):
+            config.n_generations = 5  # type: ignore[misc]

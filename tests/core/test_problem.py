@@ -1,0 +1,81 @@
+"""Tests for the RR-matrix EMOO problem (repro.core.problem)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import RRMatrixProblem
+from repro.metrics.privacy import max_posterior
+from repro.rr.matrix import RRMatrix
+from repro.rr.schemes import warner_matrix
+
+
+class TestEvaluation:
+    def test_objectives_are_minimisation_form(self, small_prior):
+        problem = RRMatrixProblem(small_prior, n_records=1000)
+        individual = problem.evaluate(warner_matrix(4, 0.6))
+        assert individual.objectives[0] == pytest.approx(-individual.metadata["privacy"])
+        assert individual.objectives[1] == pytest.approx(individual.metadata["utility"])
+        assert individual.feasible
+
+    def test_singular_matrix_gets_finite_penalty_objective(self, small_prior):
+        problem = RRMatrixProblem(small_prior, n_records=1000)
+        individual = problem.evaluate(RRMatrix.uniform(4))
+        assert np.isfinite(individual.objectives).all()
+        assert not individual.feasible
+        assert individual.metadata["utility"] == np.inf
+
+    def test_bound_violations_marked_infeasible(self, small_prior):
+        problem = RRMatrixProblem(small_prior, n_records=1000, delta=0.6)
+        individual = problem.evaluate(RRMatrix.identity(4))
+        assert not individual.feasible
+
+    def test_evaluation_counter(self, small_prior):
+        problem = RRMatrixProblem(small_prior, n_records=1000)
+        for p in (0.4, 0.6, 0.8):
+            problem.evaluate(warner_matrix(4, p))
+        assert problem.n_evaluations == 3
+
+    def test_accepts_raw_probability_vector(self):
+        problem = RRMatrixProblem(np.array([0.5, 0.5]), n_records=100)
+        assert problem.n_categories == 2
+
+
+class TestGenomeGeneration:
+    def test_random_genomes_are_valid_and_respect_bound(self, small_prior, rng):
+        problem = RRMatrixProblem(small_prior, n_records=1000, delta=0.7)
+        for _ in range(10):
+            genome = problem.random_genome(rng)
+            np.testing.assert_allclose(genome.probabilities.sum(axis=0), 1.0, atol=1e-9)
+            assert max_posterior(genome, small_prior.probabilities) <= 0.7 + 1e-6
+
+    def test_initial_population_spans_privacy(self, small_prior, rng):
+        problem = RRMatrixProblem(small_prior, n_records=1000)
+        population = problem.initial_population(30, rng)
+        privacies = [individual.metadata["privacy"] for individual in population]
+        assert max(privacies) - min(privacies) > 0.1
+
+
+class TestVariation:
+    def test_crossover_produces_valid_children(self, small_prior, rng):
+        problem = RRMatrixProblem(small_prior, n_records=1000)
+        a, b = problem.random_genome(rng), problem.random_genome(rng)
+        child_a, child_b = problem.crossover(a, b, rng)
+        for child in (child_a, child_b):
+            np.testing.assert_allclose(child.probabilities.sum(axis=0), 1.0, atol=1e-9)
+
+    def test_mutation_produces_valid_genome(self, small_prior, rng):
+        problem = RRMatrixProblem(small_prior, n_records=1000)
+        mutated = problem.mutate(problem.random_genome(rng), rng)
+        np.testing.assert_allclose(mutated.probabilities.sum(axis=0), 1.0, atol=1e-9)
+
+    def test_repair_without_delta_is_identity(self, small_prior, rng):
+        problem = RRMatrixProblem(small_prior, n_records=1000)
+        matrix = warner_matrix(4, 0.9)
+        assert problem.repair(matrix, rng) is matrix
+
+    def test_repair_with_delta_enforces_bound(self, small_prior, rng):
+        problem = RRMatrixProblem(small_prior, n_records=1000, delta=0.65)
+        repaired = problem.repair(RRMatrix.identity(4), rng)
+        assert max_posterior(repaired, small_prior.probabilities) <= 0.65 + 1e-6

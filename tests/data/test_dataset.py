@@ -1,0 +1,119 @@
+"""Tests for repro.data.dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import CategoricalAttribute, CategoricalDataset
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def two_attribute_dataset() -> CategoricalDataset:
+    records = np.array([[0, 1], [1, 0], [2, 1], [0, 0], [1, 1]])
+    attributes = (
+        CategoricalAttribute("color", ("red", "green", "blue")),
+        CategoricalAttribute("size", ("small", "large")),
+    )
+    return CategoricalDataset(attributes, records)
+
+
+class TestCategoricalAttribute:
+    def test_code_and_label_round_trip(self):
+        attribute = CategoricalAttribute("color", ("red", "green", "blue"))
+        assert attribute.code_of("green") == 1
+        assert attribute.label_of(2) == "blue"
+
+    def test_unknown_label_raises(self):
+        attribute = CategoricalAttribute("color", ("red", "green"))
+        with pytest.raises(DataError, match="unknown category"):
+            attribute.code_of("purple")
+
+    def test_out_of_range_code_raises(self):
+        attribute = CategoricalAttribute("color", ("red", "green"))
+        with pytest.raises(DataError):
+            attribute.label_of(5)
+
+    def test_needs_two_categories(self):
+        with pytest.raises(DataError):
+            CategoricalAttribute("flag", ("only",))
+
+    def test_rejects_duplicate_categories(self):
+        with pytest.raises(DataError, match="duplicate"):
+            CategoricalAttribute("flag", ("a", "a"))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(DataError):
+            CategoricalAttribute("", ("a", "b"))
+
+
+class TestCategoricalDataset:
+    def test_shape_properties(self, two_attribute_dataset):
+        assert two_attribute_dataset.n_records == 5
+        assert two_attribute_dataset.n_attributes == 2
+        assert two_attribute_dataset.attribute_names == ("color", "size")
+        assert len(two_attribute_dataset) == 5
+
+    def test_column_returns_copy(self, two_attribute_dataset):
+        column = two_attribute_dataset.column("color")
+        column[0] = 2
+        assert two_attribute_dataset.column("color")[0] == 0
+
+    def test_distribution(self, two_attribute_dataset):
+        dist = two_attribute_dataset.distribution("size")
+        np.testing.assert_allclose(dist.probabilities, [0.4, 0.6])
+
+    def test_select(self, two_attribute_dataset):
+        subset = two_attribute_dataset.select(["size"])
+        assert subset.attribute_names == ("size",)
+        assert subset.n_records == 5
+
+    def test_with_column_replaces_values(self, two_attribute_dataset):
+        new_values = np.zeros(5, dtype=np.int64)
+        updated = two_attribute_dataset.with_column("size", new_values)
+        assert updated.column("size").sum() == 0
+        # original untouched
+        assert two_attribute_dataset.column("size").sum() == 3
+
+    def test_with_column_checks_shape(self, two_attribute_dataset):
+        with pytest.raises(DataError):
+            two_attribute_dataset.with_column("size", np.zeros(3, dtype=np.int64))
+
+    def test_unknown_attribute_raises(self, two_attribute_dataset):
+        with pytest.raises(DataError, match="unknown attribute"):
+            two_attribute_dataset.column("weight")
+
+    def test_rejects_out_of_domain_codes(self):
+        attribute = CategoricalAttribute("size", ("small", "large"))
+        with pytest.raises(DataError, match="outside"):
+            CategoricalDataset((attribute,), np.array([[0], [5]]))
+
+    def test_rejects_empty_records(self):
+        attribute = CategoricalAttribute("size", ("small", "large"))
+        with pytest.raises(DataError):
+            CategoricalDataset((attribute,), np.empty((0, 1), dtype=np.int64))
+
+    def test_rejects_mismatched_columns(self):
+        attribute = CategoricalAttribute("size", ("small", "large"))
+        with pytest.raises(DataError):
+            CategoricalDataset((attribute,), np.zeros((3, 2), dtype=np.int64))
+
+    def test_from_single_attribute(self):
+        dataset = CategoricalDataset.from_single_attribute([0, 1, 1], 2, name="flag")
+        assert dataset.attribute_names == ("flag",)
+        assert dataset.attribute("flag").n_categories == 2
+
+    def test_from_columns(self):
+        dataset = CategoricalDataset.from_columns(
+            {"a": [0, 1], "b": [1, 1]},
+            {"a": ("x", "y"), "b": ("u", "v")},
+        )
+        assert dataset.n_records == 2
+        assert dataset.n_attributes == 2
+
+    def test_one_dimensional_records_are_reshaped(self):
+        attribute = CategoricalAttribute("flag", ("no", "yes"))
+        dataset = CategoricalDataset((attribute,), np.array([0, 1, 1]))
+        assert dataset.n_attributes == 1
+        assert dataset.n_records == 3

@@ -1,0 +1,54 @@
+"""Tests for repro.data.discretize."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.discretize import discretize_equal_frequency, discretize_equal_width
+from repro.exceptions import DataError
+
+
+class TestEqualWidth:
+    def test_codes_cover_all_bins(self, rng):
+        values = rng.uniform(0, 100, size=5000)
+        result = discretize_equal_width(values, 10)
+        assert result.n_bins == 10
+        assert set(np.unique(result.codes)) == set(range(10))
+
+    def test_edges_are_monotone(self):
+        result = discretize_equal_width([1.0, 2.0, 3.0, 10.0], 3)
+        assert np.all(np.diff(result.edges) > 0)
+
+    def test_max_value_lands_in_last_bin(self):
+        result = discretize_equal_width([0.0, 5.0, 10.0], 5)
+        assert result.codes[-1] == 4
+
+    def test_constant_values_raise(self):
+        with pytest.raises(DataError, match="constant"):
+            discretize_equal_width([3.0, 3.0, 3.0], 4)
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError):
+            discretize_equal_width([1.0, np.nan], 2)
+
+    def test_labels_count_matches_bins(self):
+        result = discretize_equal_width([0.0, 1.0, 2.0], 4)
+        assert len(result.labels) == 4
+
+
+class TestEqualFrequency:
+    def test_bins_are_roughly_balanced(self, rng):
+        values = rng.normal(size=10_000)
+        result = discretize_equal_frequency(values, 10)
+        counts = np.bincount(result.codes, minlength=result.n_bins)
+        assert counts.min() > 0.5 * counts.mean()
+
+    def test_ties_collapse_bins(self):
+        values = np.array([1.0] * 50 + [2.0] * 50)
+        result = discretize_equal_frequency(values, 10)
+        assert result.n_bins <= 2
+
+    def test_constant_values_raise(self):
+        with pytest.raises(DataError):
+            discretize_equal_frequency([1.0, 1.0], 3)

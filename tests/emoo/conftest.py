@@ -1,0 +1,66 @@
+"""Fixtures for the EMOO tests: a tiny analytic two-objective problem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.emoo.individual import Individual
+from repro.emoo.problem import Problem
+
+
+class SphereTradeoffProblem(Problem):
+    """A simple bi-objective problem with a known Pareto front.
+
+    Genomes are scalars ``x`` in [0, 1]; the objectives are
+    ``f1(x) = x^2`` and ``f2(x) = (x - 1)^2``.  The Pareto front is the whole
+    interval ``x in [0, 1]`` with ``sqrt(f1) + sqrt(f2) = 1``.
+    """
+
+    n_objectives = 2
+
+    def random_genome(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(-0.5, 1.5))
+
+    def evaluate(self, genome: float) -> Individual:
+        x = float(genome)
+        return Individual(
+            genome=x,
+            objectives=np.array([x**2, (x - 1.0) ** 2]),
+            feasible=True,
+            metadata={"x": x},
+        )
+
+    def crossover(self, first: float, second: float, rng: np.random.Generator):
+        alpha = float(rng.uniform(0.0, 1.0))
+        child_a = alpha * first + (1 - alpha) * second
+        child_b = (1 - alpha) * first + alpha * second
+        return child_a, child_b
+
+    def mutate(self, genome: float, rng: np.random.Generator) -> float:
+        return float(genome + rng.normal(0.0, 0.1))
+
+    def repair(self, genome: float, rng: np.random.Generator) -> float:
+        return float(np.clip(genome, -2.0, 3.0))
+
+
+@pytest.fixture
+def sphere_problem() -> SphereTradeoffProblem:
+    return SphereTradeoffProblem()
+
+
+def make_individual(objectives, feasible=True) -> Individual:
+    """Helper to build an individual with given objectives."""
+    return Individual(genome=None, objectives=np.asarray(objectives, dtype=float), feasible=feasible)
+
+
+@pytest.fixture
+def square_population() -> list[Individual]:
+    """Four individuals forming a square plus one dominated interior point."""
+    return [
+        make_individual([0.0, 1.0]),
+        make_individual([1.0, 0.0]),
+        make_individual([0.0, 0.0]),   # dominates everything
+        make_individual([1.0, 1.0]),   # dominated by everything except itself
+        make_individual([0.6, 0.6]),   # dominated by (0, 0)
+    ]

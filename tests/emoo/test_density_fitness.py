@@ -1,0 +1,106 @@
+"""Tests for repro.emoo.density and repro.emoo.fitness (SPEA2 components)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.emoo.density import kth_nearest_distances, pairwise_distances, spea2_density
+from repro.emoo.fitness import assign_spea2_fitness, non_dominated_by_fitness
+from repro.exceptions import OptimizationError
+from tests.emoo.conftest import make_individual
+
+
+class TestPairwiseDistances:
+    def test_symmetric_with_zero_diagonal(self, rng):
+        points = rng.normal(size=(6, 2))
+        distances = pairwise_distances(points)
+        np.testing.assert_allclose(distances, distances.T)
+        np.testing.assert_allclose(np.diag(distances), 0.0)
+
+    def test_known_values(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        distances = pairwise_distances(points)
+        assert distances[0, 1] == pytest.approx(5.0)
+
+
+class TestKthNearestDistances:
+    def test_k1_is_nearest_neighbour(self):
+        points = np.array([[0.0], [1.0], [10.0]])
+        distances = kth_nearest_distances(points, k=1)
+        np.testing.assert_allclose(distances, [1.0, 1.0, 9.0])
+
+    def test_k_clamped_to_population(self):
+        points = np.array([[0.0], [1.0]])
+        distances = kth_nearest_distances(points, k=10)
+        np.testing.assert_allclose(distances, [1.0, 1.0])
+
+    def test_single_point_gets_infinity(self):
+        assert kth_nearest_distances(np.array([[1.0, 2.0]]), k=1)[0] == np.inf
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(OptimizationError):
+            kth_nearest_distances(np.array([[0.0]]), k=0)
+
+
+class TestSpea2Density:
+    def test_density_below_one(self, rng):
+        points = rng.normal(size=(10, 2))
+        densities = spea2_density(points)
+        assert np.all(densities < 1.0)
+        assert np.all(densities > 0.0)
+
+    def test_crowded_point_has_higher_density(self):
+        # Two close points and one far away: the far one is less crowded.
+        points = np.array([[0.0, 0.0], [0.01, 0.0], [5.0, 5.0]])
+        densities = spea2_density(points)
+        assert densities[0] > densities[2]
+        assert densities[1] > densities[2]
+
+
+class TestSpea2Fitness:
+    def test_nondominated_have_fitness_below_one(self, square_population):
+        assign_spea2_fitness(square_population)
+        best = square_population[2]  # (0, 0) dominates everything
+        assert best.fitness < 1.0
+        front = non_dominated_by_fitness(square_population)
+        assert front == [best]
+
+    def test_strength_counts_dominated(self, square_population):
+        assign_spea2_fitness(square_population)
+        # (0, 0) dominates the other four individuals.
+        assert square_population[2].strength == 4
+        # (1, 1) dominates nothing.
+        assert square_population[3].strength == 0
+
+    def test_raw_fitness_sums_dominator_strengths(self):
+        population = [
+            make_individual([0.0, 0.0]),  # dominates both others -> strength 2
+            make_individual([1.0, 1.0]),  # dominated by first, dominates third
+            make_individual([2.0, 2.0]),  # dominated by both
+        ]
+        assign_spea2_fitness(population)
+        assert population[0].fitness < 1.0
+        # Raw fitness of the middle: strength of its single dominator (2).
+        assert int(population[1].fitness) == 2
+        # Raw fitness of the worst: strengths of both dominators (2 + 1 = 3).
+        assert int(population[2].fitness) == 3
+
+    def test_more_dominated_individual_has_worse_fitness(self, square_population):
+        assign_spea2_fitness(square_population)
+        interior = square_population[4]   # (0.6, 0.6), dominated by (0,0) only
+        corner = square_population[3]     # (1, 1), dominated by three points
+        assert corner.fitness > interior.fitness
+
+    def test_density_breaks_ties_between_nondominated(self):
+        population = [
+            make_individual([0.0, 1.0]),
+            make_individual([0.02, 0.98]),  # crowded near the first
+            make_individual([1.0, 0.0]),    # isolated
+        ]
+        assign_spea2_fitness(population)
+        assert all(ind.fitness < 1.0 for ind in population)
+        assert population[2].fitness < population[1].fitness
+
+    def test_empty_population_is_noop(self):
+        assign_spea2_fitness([])

@@ -1,0 +1,97 @@
+"""Tests for the front-quality indicators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.emoo.indicators import coverage, epsilon_indicator, hypervolume_2d, spread_2d
+from repro.exceptions import ValidationError
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d(np.array([[0.0, 0.0]]), (1.0, 1.0)) == pytest.approx(1.0)
+
+    def test_two_point_staircase(self):
+        front = np.array([[0.0, 0.5], [0.5, 0.0]])
+        # Area = 1*0.5 + 0.5*0.5 = 0.75 with reference (1, 1).
+        assert hypervolume_2d(front, (1.0, 1.0)) == pytest.approx(0.75)
+
+    def test_dominated_points_do_not_add_area(self):
+        base = np.array([[0.0, 0.0]])
+        augmented = np.array([[0.0, 0.0], [0.5, 0.5]])
+        reference = (1.0, 1.0)
+        assert hypervolume_2d(base, reference) == pytest.approx(
+            hypervolume_2d(augmented, reference)
+        )
+
+    def test_points_beyond_reference_contribute_nothing(self):
+        assert hypervolume_2d(np.array([[2.0, 2.0]]), (1.0, 1.0)) == 0.0
+
+    def test_better_front_has_larger_hypervolume(self):
+        good = np.array([[0.1, 0.1]])
+        bad = np.array([[0.5, 0.5]])
+        reference = (1.0, 1.0)
+        assert hypervolume_2d(good, reference) > hypervolume_2d(bad, reference)
+
+    def test_monotone_in_added_nondominated_points(self, rng):
+        reference = (2.0, 2.0)
+        front = rng.uniform(0, 1, size=(5, 2))
+        augmented = np.vstack([front, [[0.0, 0.0]]])
+        assert hypervolume_2d(augmented, reference) >= hypervolume_2d(front, reference)
+
+    def test_rejects_three_objectives(self):
+        with pytest.raises(ValidationError):
+            hypervolume_2d(np.zeros((2, 3)), (1.0, 1.0))
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 1.0], [2.0, 0.5]])
+        assert coverage(a, b) == 1.0
+
+    def test_no_coverage(self):
+        a = np.array([[1.0, 1.0]])
+        b = np.array([[0.0, 0.0]])
+        assert coverage(a, b) == 0.0
+
+    def test_partial_coverage(self):
+        a = np.array([[0.0, 1.0]])
+        b = np.array([[0.5, 1.5], [1.0, 0.0]])
+        assert coverage(a, b) == 0.5
+
+    def test_identical_fronts_cover_each_other(self):
+        front = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert coverage(front, front) == 1.0
+
+    def test_mismatched_dimensions(self):
+        with pytest.raises(ValidationError):
+            coverage(np.zeros((1, 2)), np.zeros((1, 3)))
+
+
+class TestEpsilonIndicator:
+    def test_identical_fronts_have_zero_epsilon(self):
+        front = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert epsilon_indicator(front, front) == pytest.approx(0.0)
+
+    def test_dominating_front_has_negative_epsilon(self):
+        better = np.array([[0.0, 0.0]])
+        worse = np.array([[0.5, 0.5]])
+        assert epsilon_indicator(better, worse) == pytest.approx(-0.5)
+
+    def test_dominated_front_has_positive_epsilon(self):
+        better = np.array([[0.0, 0.0]])
+        worse = np.array([[0.5, 0.5]])
+        assert epsilon_indicator(worse, better) == pytest.approx(0.5)
+
+
+class TestSpread:
+    def test_extent_per_objective(self):
+        front = np.array([[0.0, 1.0], [0.5, 0.2], [1.0, 0.0]])
+        extent = spread_2d(front)
+        assert extent == (pytest.approx(1.0), pytest.approx(1.0))
+
+    def test_single_point_has_zero_spread(self):
+        assert spread_2d(np.array([[0.3, 0.7]])) == (0.0, 0.0)

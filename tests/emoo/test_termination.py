@@ -1,0 +1,61 @@
+"""Tests for repro.emoo.termination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emoo.termination import (
+    AnyCriterion,
+    GenerationState,
+    MaxGenerations,
+    StagnationTermination,
+)
+from repro.exceptions import OptimizationError
+
+
+class TestMaxGenerations:
+    def test_stops_at_limit(self):
+        criterion = MaxGenerations(3)
+        assert not criterion.should_stop(GenerationState(0))
+        assert not criterion.should_stop(GenerationState(1))
+        assert criterion.should_stop(GenerationState(2))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(Exception):
+            MaxGenerations(0)
+
+
+class TestStagnation:
+    def test_stops_after_patience_without_updates(self):
+        criterion = StagnationTermination(patience=2)
+        assert not criterion.should_stop(GenerationState(0, archive_updates=0))
+        assert criterion.should_stop(GenerationState(1, archive_updates=0))
+
+    def test_updates_reset_counter(self):
+        criterion = StagnationTermination(patience=2)
+        assert not criterion.should_stop(GenerationState(0, archive_updates=0))
+        assert not criterion.should_stop(GenerationState(1, archive_updates=5))
+        assert not criterion.should_stop(GenerationState(2, archive_updates=0))
+        assert criterion.should_stop(GenerationState(3, archive_updates=0))
+
+    def test_reset(self):
+        criterion = StagnationTermination(patience=1)
+        assert criterion.should_stop(GenerationState(0, archive_updates=0))
+        criterion.reset()
+        assert not criterion.should_stop(GenerationState(1, archive_updates=1))
+
+
+class TestAnyCriterion:
+    def test_or_operator_combines(self):
+        combined = MaxGenerations(100) | StagnationTermination(1)
+        assert isinstance(combined, AnyCriterion)
+        assert combined.should_stop(GenerationState(0, archive_updates=0))
+
+    def test_stops_when_either_fires(self):
+        combined = MaxGenerations(2) | StagnationTermination(50)
+        assert not combined.should_stop(GenerationState(0, archive_updates=1))
+        assert combined.should_stop(GenerationState(1, archive_updates=1))
+
+    def test_requires_criteria(self):
+        with pytest.raises(OptimizationError):
+            AnyCriterion(())

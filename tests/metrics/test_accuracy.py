@@ -1,0 +1,92 @@
+"""Tests for repro.metrics.accuracy (Bayes estimation, Theorems 3 and 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.accuracy import (
+    OrdinalAccuracy,
+    ZeroOneAccuracy,
+    bayes_estimate,
+    expected_accuracy,
+)
+from repro.rr.schemes import warner_matrix
+
+
+class TestZeroOneAccuracy:
+    def test_score_matrix_is_identity(self):
+        np.testing.assert_allclose(ZeroOneAccuracy().score_matrix(4), np.eye(4))
+
+    def test_score_pairs(self):
+        accuracy = ZeroOneAccuracy()
+        assert accuracy.score(2, 2, 4) == 1.0
+        assert accuracy.score(2, 3, 4) == 0.0
+
+
+class TestOrdinalAccuracy:
+    def test_width_one_reduces_to_zero_one(self):
+        np.testing.assert_allclose(
+            OrdinalAccuracy(width=1.0).score_matrix(5), np.eye(5)
+        )
+
+    def test_partial_credit_decays_with_distance(self):
+        scores = OrdinalAccuracy(width=3.0).score_matrix(5)
+        assert scores[0, 0] == 1.0
+        assert scores[0, 1] == pytest.approx(2.0 / 3.0)
+        assert scores[0, 4] == 0.0
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValidationError):
+            OrdinalAccuracy(width=0.0)
+
+
+class TestBayesEstimate:
+    def test_map_for_zero_one_accuracy(self):
+        posterior = np.array([0.1, 0.6, 0.3])
+        estimate, value = bayes_estimate(posterior)
+        assert estimate == 1
+        assert value == pytest.approx(0.6)
+
+    def test_ordinal_accuracy_maximises_expected_score(self):
+        posterior = np.array([0.15, 0.2, 0.05, 0.25, 0.35])
+        accuracy = OrdinalAccuracy(width=3.0)
+        choice, value = bayes_estimate(posterior, accuracy)
+        expected = accuracy.score_matrix(5) @ posterior
+        assert choice == int(np.argmax(expected))
+        assert value == pytest.approx(expected.max())
+
+    def test_ordinal_and_zero_one_can_disagree(self):
+        # Mass concentrated around the middle but the single mode at an
+        # extreme: partial credit pulls the Bayes estimate towards the centre.
+        posterior = np.array([0.4, 0.0, 0.3, 0.3, 0.0])
+        zero_one_choice, _ = bayes_estimate(posterior)
+        ordinal_choice, _ = bayes_estimate(posterior, OrdinalAccuracy(width=2.0))
+        assert zero_one_choice == 0
+        assert ordinal_choice != zero_one_choice
+
+    def test_rejects_invalid_posterior(self):
+        with pytest.raises(Exception):
+            bayes_estimate(np.array([0.7, 0.7]))
+
+
+class TestExpectedAccuracy:
+    def test_identity_matrix_gives_accuracy_one(self, small_prior):
+        accuracy = expected_accuracy(small_prior.probabilities, np.eye(4))
+        assert accuracy == pytest.approx(1.0)
+
+    def test_uniform_matrix_gives_prior_mode(self, small_prior):
+        matrix = np.full((4, 4), 0.25)
+        accuracy = expected_accuracy(small_prior.probabilities, matrix)
+        assert accuracy == pytest.approx(small_prior.max_probability)
+
+    def test_matches_joint_max_formula(self, small_prior):
+        matrix = warner_matrix(4, 0.6).probabilities
+        accuracy = expected_accuracy(small_prior.probabilities, matrix)
+        joint = matrix * small_prior.probabilities[None, :]
+        assert accuracy == pytest.approx(joint.max(axis=1).sum())
+
+    def test_shape_mismatch_raises(self, small_prior):
+        with pytest.raises(ValidationError):
+            expected_accuracy(small_prior.probabilities, np.eye(3))

@@ -1,0 +1,95 @@
+"""Tests for repro.mining.association."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.mining.association import AssociationMiner, ItemsetSupport
+
+
+class TestItemsetSupport:
+    def test_items_are_sorted(self):
+        itemset = ItemsetSupport((("b", 1), ("a", 0)), 0.4)
+        assert itemset.items == (("a", 0), ("b", 1))
+        assert itemset.size == 2
+
+
+class TestSupportEstimation:
+    def test_single_item_support_close_to_truth(
+        self, survey_dataset, survey_matrices, disguised_survey
+    ):
+        miner = AssociationMiner(survey_matrices, min_support=0.05)
+        estimated = miner.itemset_support(disguised_survey, [("income", 0)]).support
+        truth = float(np.mean(survey_dataset.column("income") == 0))
+        assert estimated == pytest.approx(truth, abs=0.05)
+
+    def test_pair_support_close_to_truth(
+        self, survey_dataset, survey_matrices, disguised_survey
+    ):
+        miner = AssociationMiner(survey_matrices, min_support=0.05)
+        estimated = miner.itemset_support(
+            disguised_survey, [("income", 2), ("buys", 1)]
+        ).support
+        truth = float(
+            np.mean(
+                (survey_dataset.column("income") == 2) & (survey_dataset.column("buys") == 1)
+            )
+        )
+        assert estimated == pytest.approx(truth, abs=0.05)
+
+    def test_duplicate_attribute_rejected(self, disguised_survey, survey_matrices):
+        miner = AssociationMiner(survey_matrices)
+        with pytest.raises(DataError):
+            miner.itemset_support(disguised_survey, [("income", 0), ("income", 1)])
+
+    def test_empty_itemset_rejected(self, disguised_survey, survey_matrices):
+        miner = AssociationMiner(survey_matrices)
+        with pytest.raises(DataError):
+            miner.itemset_support(disguised_survey, [])
+
+
+class TestFrequentItemsets:
+    def test_finds_frequent_singletons_and_pairs(self, disguised_survey, survey_matrices):
+        miner = AssociationMiner(survey_matrices, min_support=0.15, max_itemset_size=2)
+        itemsets = miner.frequent_itemsets(disguised_survey)
+        assert any(itemset.size == 1 for itemset in itemsets)
+        assert any(itemset.size == 2 for itemset in itemsets)
+        assert all(itemset.support >= 0.15 for itemset in itemsets)
+
+    def test_min_support_filters(self, disguised_survey, survey_matrices):
+        permissive = AssociationMiner(survey_matrices, min_support=0.05, max_itemset_size=2)
+        strict = AssociationMiner(survey_matrices, min_support=0.4, max_itemset_size=2)
+        assert len(strict.frequent_itemsets(disguised_survey)) < len(
+            permissive.frequent_itemsets(disguised_survey)
+        )
+
+
+class TestRules:
+    def test_mines_the_planted_rule(self, disguised_survey, survey_matrices):
+        """High income strongly implies buying in the synthetic data; the rule
+        should be recoverable from the disguised dataset."""
+        miner = AssociationMiner(
+            survey_matrices, min_support=0.08, min_confidence=0.6, max_itemset_size=2
+        )
+        rules = miner.mine_rules(disguised_survey, attributes=("income", "buys"))
+        matching = [
+            rule
+            for rule in rules
+            if rule.antecedent == (("income", 2),) and rule.consequent == (("buys", 1),)
+        ]
+        assert matching, f"expected income=high -> buys=yes among {rules}"
+        assert matching[0].confidence > 0.6
+
+    def test_rule_confidence_is_capped_at_one(self, disguised_survey, survey_matrices):
+        miner = AssociationMiner(survey_matrices, min_support=0.05, min_confidence=0.1,
+                                 max_itemset_size=2)
+        rules = miner.mine_rules(disguised_survey, attributes=("income", "buys"))
+        assert all(rule.confidence <= 1.0 for rule in rules)
+
+    def test_validation_of_thresholds(self, survey_matrices):
+        with pytest.raises(Exception):
+            AssociationMiner(survey_matrices, min_support=1.5)
+        with pytest.raises(DataError):
+            AssociationMiner(survey_matrices, max_itemset_size=0)

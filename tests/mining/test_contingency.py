@@ -1,0 +1,81 @@
+"""Tests for repro.mining.contingency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.mining.contingency import ContingencyEstimator, ContingencyTable
+
+
+class TestContingencyTable:
+    def test_marginal_and_probability(self):
+        joint = np.array([[0.1, 0.2], [0.3, 0.4]])
+        table = ContingencyTable(("a", "b"), (2, 2), joint)
+        np.testing.assert_allclose(table.marginal("a"), [0.3, 0.7])
+        np.testing.assert_allclose(table.marginal("b"), [0.4, 0.6])
+        assert table.probability({"a": 1, "b": 0}) == pytest.approx(0.3)
+
+    def test_conditional(self):
+        joint = np.array([[0.1, 0.2], [0.3, 0.4]])
+        table = ContingencyTable(("a", "b"), (2, 2), joint)
+        conditional = table.conditional("b", {"a": 1})
+        np.testing.assert_allclose(conditional, [0.3 / 0.7, 0.4 / 0.7])
+
+    def test_conditional_rejects_target_in_condition(self):
+        table = ContingencyTable(("a",), (2,), np.array([0.5, 0.5]))
+        with pytest.raises(DataError):
+            table.conditional("a", {"a": 0})
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            ContingencyTable(("a", "b"), (2, 3), np.zeros((2, 2)))
+
+    def test_unknown_attribute_marginal(self):
+        table = ContingencyTable(("a",), (2,), np.array([0.5, 0.5]))
+        with pytest.raises(DataError):
+            table.marginal("z")
+
+
+class TestContingencyEstimator:
+    def test_reconstructs_joint_from_disguised_data(
+        self, survey_dataset, survey_matrices, disguised_survey
+    ):
+        estimator = ContingencyEstimator(survey_matrices)
+        estimate = estimator.estimate(disguised_survey, ["income", "buys"])
+        truth = estimator.estimate_true(survey_dataset, ["income", "buys"])
+        assert np.abs(estimate.probabilities - truth.probabilities).max() < 0.05
+
+    def test_undisguised_attributes_use_identity(self, survey_dataset):
+        estimator = ContingencyEstimator({})
+        estimate = estimator.estimate(survey_dataset, ["income"])
+        truth = survey_dataset.distribution("income").probabilities
+        np.testing.assert_allclose(estimate.marginal("income"), truth, atol=1e-9)
+
+    def test_three_way_joint(self, survey_dataset, survey_matrices, disguised_survey):
+        estimator = ContingencyEstimator(survey_matrices)
+        estimate = estimator.estimate(disguised_survey, ["income", "region", "buys"])
+        truth = estimator.estimate_true(survey_dataset, ["income", "region", "buys"])
+        assert estimate.probabilities.shape == (3, 2, 2)
+        assert np.abs(estimate.probabilities - truth.probabilities).max() < 0.06
+
+    def test_domain_mismatch_raises(self, disguised_survey):
+        from repro.rr.schemes import warner_matrix
+
+        estimator = ContingencyEstimator({"income": warner_matrix(5, 0.7)})
+        with pytest.raises(DataError, match="domain"):
+            estimator.estimate(disguised_survey, ["income"])
+
+    def test_empty_attribute_list_raises(self, disguised_survey, survey_matrices):
+        estimator = ContingencyEstimator(survey_matrices)
+        with pytest.raises(DataError):
+            estimator.estimate(disguised_survey, [])
+
+    def test_iterative_method(self, survey_dataset, survey_matrices, disguised_survey):
+        estimator = ContingencyEstimator(survey_matrices, method="iterative")
+        estimate = estimator.estimate(disguised_survey, ["income", "buys"])
+        truth = ContingencyEstimator(survey_matrices).estimate_true(
+            survey_dataset, ["income", "buys"]
+        )
+        assert np.abs(estimate.probabilities - truth.probabilities).max() < 0.05

@@ -1,0 +1,91 @@
+"""Tests for repro.mining.decision_tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.mining.decision_tree import DecisionTreeBuilder
+
+
+class TestDecisionTreeBuilder:
+    def test_builds_a_tree_that_splits_on_the_predictive_attribute(
+        self, disguised_survey, survey_matrices
+    ):
+        builder = DecisionTreeBuilder(
+            survey_matrices, class_attribute="buys", max_depth=2
+        )
+        tree = builder.build(disguised_survey)
+        # Income is by construction far more predictive than region.
+        assert tree.split_attribute == "income"
+        assert tree.count_nodes() > 1
+
+    def test_tree_predictions_beat_majority_class(
+        self, survey_dataset, disguised_survey, survey_matrices
+    ):
+        builder = DecisionTreeBuilder(
+            survey_matrices, class_attribute="buys", max_depth=2
+        )
+        tree = builder.build(disguised_survey)
+        records = survey_dataset.records
+        names = survey_dataset.attribute_names
+        predictions = np.array(
+            [tree.predict_one(dict(zip(names, row))) for row in records]
+        )
+        truth = survey_dataset.column("buys")
+        accuracy = float(np.mean(predictions == truth))
+        majority = max(np.mean(truth == 0), np.mean(truth == 1))
+        assert accuracy > majority + 0.02
+
+    def test_class_distributions_are_valid(self, disguised_survey, survey_matrices):
+        builder = DecisionTreeBuilder(survey_matrices, class_attribute="buys", max_depth=2)
+        tree = builder.build(disguised_survey)
+
+        def walk(node):
+            assert node.class_distribution.sum() == pytest.approx(1.0, abs=1e-6)
+            assert np.all(node.class_distribution >= -1e-9)
+            for child in node.children.values():
+                walk(child)
+
+        walk(tree)
+
+    def test_max_depth_zero_like_behaviour(self, disguised_survey, survey_matrices):
+        builder = DecisionTreeBuilder(
+            survey_matrices, class_attribute="buys", max_depth=1,
+            min_information_gain=10.0,  # impossible gain -> leaf
+        )
+        tree = builder.build(disguised_survey)
+        assert tree.is_leaf
+        assert tree.predicted_class in (0, 1)
+
+    def test_unknown_class_attribute_raises(self, disguised_survey, survey_matrices):
+        builder = DecisionTreeBuilder(survey_matrices, class_attribute="missing")
+        with pytest.raises(DataError):
+            builder.build(disguised_survey)
+
+    def test_class_attribute_cannot_be_candidate(self, disguised_survey, survey_matrices):
+        builder = DecisionTreeBuilder(survey_matrices, class_attribute="buys")
+        with pytest.raises(DataError):
+            builder.build(disguised_survey, candidate_attributes=["buys", "income"])
+
+    def test_prediction_falls_back_to_majority_for_unknown_branch(
+        self, disguised_survey, survey_matrices
+    ):
+        builder = DecisionTreeBuilder(survey_matrices, class_attribute="buys", max_depth=1)
+        tree = builder.build(disguised_survey)
+        # A record missing the split attribute falls back to the node's class.
+        prediction = tree.predict_one({"region": 0})
+        assert prediction == tree.predicted_class
+
+    def test_parameter_validation(self, survey_matrices):
+        with pytest.raises(Exception):
+            DecisionTreeBuilder(survey_matrices, class_attribute="buys", max_depth=0)
+        with pytest.raises(DataError):
+            DecisionTreeBuilder(
+                survey_matrices, class_attribute="buys", min_information_gain=-1.0
+            )
+        with pytest.raises(DataError):
+            DecisionTreeBuilder(
+                survey_matrices, class_attribute="buys", min_node_probability=1.5
+            )

@@ -1,0 +1,165 @@
+"""Tests for repro.rr.estimation (Theorem 1 inversion, Eq. 3 iterative)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import gamma_distribution, uniform_distribution
+from repro.exceptions import EstimationError
+from repro.rr.estimation import (
+    InversionEstimator,
+    IterativeEstimator,
+    counts_from_codes,
+    estimate_distribution,
+)
+from repro.rr.matrix import RRMatrix
+from repro.rr.randomize import RandomizedResponse
+from repro.rr.schemes import warner_matrix
+
+
+class TestCountsFromCodes:
+    def test_histogram(self):
+        counts = counts_from_codes(np.array([0, 1, 1, 2, 2, 2]), 4)
+        np.testing.assert_allclose(counts, [1, 2, 3, 0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(EstimationError):
+            counts_from_codes(np.array([0, 7]), 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EstimationError):
+            counts_from_codes(np.array([], dtype=np.int64), 3)
+
+
+class TestInversionEstimator:
+    def test_exact_on_true_disguised_distribution(self, small_prior):
+        """Feeding the exact disguised distribution must recover the prior."""
+        matrix = warner_matrix(4, 0.6)
+        disguised = matrix.disguise_distribution(small_prior.probabilities)
+        estimate = InversionEstimator().estimate(disguised * 1000, matrix)
+        np.testing.assert_allclose(estimate.probabilities, small_prior.probabilities, atol=1e-9)
+
+    def test_identity_matrix_returns_empirical(self):
+        counts = np.array([10.0, 30.0, 60.0])
+        estimate = InversionEstimator().estimate(counts, RRMatrix.identity(3))
+        np.testing.assert_allclose(estimate.probabilities, [0.1, 0.3, 0.6])
+
+    def test_estimates_converge_with_sample_size(self):
+        prior = gamma_distribution(8)
+        matrix = warner_matrix(8, 0.5)
+        mechanism = RandomizedResponse(matrix)
+        errors = []
+        for n_records in (500, 50_000):
+            codes = prior.sample(n_records, seed=1)
+            disguised = mechanism.randomize_codes(codes, seed=2)
+            estimate = InversionEstimator().estimate_from_codes(disguised, matrix)
+            errors.append(estimate.mean_squared_error(prior.probabilities))
+        assert errors[1] < errors[0]
+
+    def test_raw_estimate_can_be_negative_but_corrected_is_not(self):
+        matrix = warner_matrix(4, 0.35)
+        # A tiny, extreme sample can push the raw inversion estimate negative.
+        counts = np.array([20.0, 0.0, 0.0, 0.0])
+        estimate = InversionEstimator().estimate(counts, matrix)
+        assert np.all(estimate.probabilities >= 0)
+        assert estimate.probabilities.sum() == pytest.approx(1.0)
+        assert estimate.raw_probabilities.min() < 0
+
+    def test_unclipped_mode_preserves_raw(self):
+        matrix = warner_matrix(4, 0.35)
+        counts = np.array([20.0, 0.0, 0.0, 0.0])
+        estimate = InversionEstimator(clip_negative=False).estimate(counts, matrix)
+        np.testing.assert_allclose(estimate.probabilities, estimate.raw_probabilities)
+
+    def test_wrong_count_length_raises(self):
+        with pytest.raises(EstimationError):
+            InversionEstimator().estimate(np.array([1.0, 2.0]), RRMatrix.identity(3))
+
+    def test_all_zero_counts_raise(self):
+        with pytest.raises(EstimationError):
+            InversionEstimator().estimate(np.zeros(3), RRMatrix.identity(3))
+
+
+class TestIterativeEstimator:
+    def test_recovers_prior_from_exact_disguised_distribution(self, small_prior):
+        matrix = warner_matrix(4, 0.6)
+        disguised = matrix.disguise_distribution(small_prior.probabilities)
+        estimate = IterativeEstimator(max_iterations=5000).estimate(disguised * 10_000, matrix)
+        assert estimate.converged
+        np.testing.assert_allclose(estimate.probabilities, small_prior.probabilities, atol=1e-4)
+
+    def test_never_produces_negative_probabilities(self):
+        matrix = warner_matrix(4, 0.35)
+        counts = np.array([20.0, 0.0, 0.0, 0.0])
+        estimate = IterativeEstimator().estimate(counts, matrix)
+        assert np.all(estimate.probabilities >= 0)
+        assert estimate.probabilities.sum() == pytest.approx(1.0)
+
+    def test_close_to_inversion_on_large_samples(self):
+        prior = gamma_distribution(6)
+        matrix = warner_matrix(6, 0.55)
+        mechanism = RandomizedResponse(matrix)
+        codes = prior.sample(100_000, seed=5)
+        disguised = mechanism.randomize_codes(codes, seed=6)
+        inv = InversionEstimator().estimate_from_codes(disguised, matrix)
+        it = IterativeEstimator().estimate_from_codes(disguised, matrix)
+        np.testing.assert_allclose(inv.probabilities, it.probabilities, atol=5e-3)
+
+    def test_respects_iteration_budget(self):
+        matrix = warner_matrix(5, 0.4)
+        counts = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        estimate = IterativeEstimator(max_iterations=2, tolerance=1e-15).estimate(counts, matrix)
+        assert estimate.n_iterations <= 2
+        assert not estimate.converged
+
+    def test_nonconvergence_can_raise(self):
+        matrix = warner_matrix(5, 0.4)
+        counts = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        estimator = IterativeEstimator(max_iterations=1, tolerance=1e-16, raise_on_nonconvergence=True)
+        with pytest.raises(EstimationError, match="did not converge"):
+            estimator.estimate(counts, matrix)
+
+    def test_custom_initial_distribution(self, small_prior):
+        matrix = warner_matrix(4, 0.7)
+        disguised = matrix.disguise_distribution(small_prior.probabilities)
+        estimate = IterativeEstimator().estimate(
+            disguised * 1000, matrix, initial=np.array([0.7, 0.1, 0.1, 0.1])
+        )
+        np.testing.assert_allclose(estimate.probabilities, small_prior.probabilities, atol=1e-3)
+
+    def test_invalid_settings(self):
+        with pytest.raises(Exception):
+            IterativeEstimator(max_iterations=0)
+        with pytest.raises(EstimationError):
+            IterativeEstimator(tolerance=0.0)
+
+    def test_works_for_singular_matrices(self):
+        """The iterative estimator does not need M to be invertible."""
+        matrix = RRMatrix.uniform(3)
+        estimate = IterativeEstimator(max_iterations=200).estimate(np.array([10.0, 20.0, 30.0]), matrix)
+        # With a totally randomizing matrix every prior explains the data; the
+        # estimator should return a valid distribution without crashing.
+        assert estimate.probabilities.sum() == pytest.approx(1.0)
+
+
+class TestEstimateDistributionWrapper:
+    def test_inversion_method(self, small_prior):
+        matrix = warner_matrix(4, 0.6)
+        codes = RandomizedResponse(matrix).randomize_codes(
+            small_prior.sample(20_000, seed=0), seed=1
+        )
+        estimate = estimate_distribution(codes, matrix, method="inversion")
+        assert estimate.mean_squared_error(small_prior.probabilities) < 1e-3
+
+    def test_iterative_method(self, small_prior):
+        matrix = warner_matrix(4, 0.6)
+        codes = RandomizedResponse(matrix).randomize_codes(
+            small_prior.sample(20_000, seed=0), seed=1
+        )
+        estimate = estimate_distribution(codes, matrix, method="iterative")
+        assert estimate.mean_squared_error(small_prior.probabilities) < 1e-3
+
+    def test_unknown_method(self):
+        with pytest.raises(EstimationError):
+            estimate_distribution(np.array([0, 1]), RRMatrix.identity(2), method="magic")

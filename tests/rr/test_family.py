@@ -1,0 +1,79 @@
+"""Tests for repro.rr.family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.rr.family import (
+    FrappFamily,
+    UniformPerturbationFamily,
+    WarnerFamily,
+    family_names,
+    scheme_family,
+)
+
+
+class TestWarnerFamily:
+    def test_grid_covers_unit_interval(self):
+        family = WarnerFamily(5)
+        grid = family.parameter_grid(11)
+        assert grid[0] == 0.0 and grid[-1] == 1.0
+        assert grid.size == 11
+
+    def test_matrices_materialisation(self):
+        family = WarnerFamily(4)
+        matrices = family.matrices(5)
+        assert len(matrices) == 5
+        assert matrices[-1].isclose(matrices[-1])  # all valid RRMatrix objects
+
+    def test_default_sweep_matches_paper(self):
+        family = WarnerFamily(3)
+        assert len(list(family)) == 1001
+
+    def test_name(self):
+        assert WarnerFamily(3).name == "warner"
+
+
+class TestUniformPerturbationFamily:
+    def test_endpoints(self):
+        family = UniformPerturbationFamily(4)
+        matrices = family.matrices(3)
+        np.testing.assert_allclose(matrices[0].probabilities, 0.25)
+        np.testing.assert_allclose(matrices[-1].probabilities, np.eye(4))
+
+
+class TestFrappFamily:
+    def test_grid_is_positive(self):
+        family = FrappFamily(5)
+        grid = family.parameter_grid(10)
+        assert np.all(grid > 0)
+
+    def test_diagonal_spans_range(self):
+        family = FrappFamily(5)
+        matrices = family.matrices(50)
+        diagonals = np.array([matrix[0, 0] for matrix in matrices])
+        assert diagonals.min() == pytest.approx(1.0 / 5, abs=1e-6)
+        assert diagonals.max() > 0.99
+
+
+class TestSchemeFamilyLookup:
+    def test_lookup_by_name(self):
+        assert isinstance(scheme_family("warner", 4), WarnerFamily)
+        assert isinstance(scheme_family("up", 4), UniformPerturbationFamily)
+        assert isinstance(scheme_family("frapp", 4), FrappFamily)
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(scheme_family("WARNER", 4), WarnerFamily)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValidationError, match="unknown scheme family"):
+            scheme_family("laplace", 4)
+
+    def test_family_names(self):
+        assert set(family_names()) == {"warner", "uniform-perturbation", "frapp"}
+
+    def test_requires_two_categories(self):
+        with pytest.raises(ValidationError):
+            WarnerFamily(1)

@@ -1,0 +1,105 @@
+"""Tests for the LDP bridge (repro.rr.ldp)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.privacy import max_posterior
+from repro.rr.ldp import (
+    epsilon_for_delta_bound,
+    epsilon_of_k_rr,
+    k_rr_matrix,
+    ldp_epsilon,
+    max_posterior_under_ldp,
+    satisfies_ldp,
+)
+from repro.rr.matrix import RRMatrix
+from repro.rr.schemes import warner_matrix
+
+
+class TestLdpEpsilon:
+    def test_uniform_matrix_has_zero_epsilon(self):
+        assert ldp_epsilon(RRMatrix.uniform(5)) == pytest.approx(0.0)
+
+    def test_identity_matrix_has_infinite_epsilon(self):
+        assert ldp_epsilon(RRMatrix.identity(5)) == np.inf
+
+    def test_warner_matrix_epsilon_formula(self):
+        n, p = 6, 0.7
+        matrix = warner_matrix(n, p)
+        expected = math.log(p / ((1 - p) / (n - 1)))
+        assert ldp_epsilon(matrix) == pytest.approx(expected)
+
+    def test_satisfies_ldp(self):
+        matrix = warner_matrix(4, 0.6)
+        epsilon = ldp_epsilon(matrix)
+        assert satisfies_ldp(matrix, epsilon + 0.01)
+        assert not satisfies_ldp(matrix, epsilon - 0.01)
+
+    def test_satisfies_ldp_rejects_negative_epsilon(self):
+        with pytest.raises(ValidationError):
+            satisfies_ldp(RRMatrix.uniform(3), -0.5)
+
+
+class TestKRR:
+    def test_k_rr_is_a_warner_matrix(self):
+        n, epsilon = 5, 1.2
+        matrix = k_rr_matrix(n, epsilon)
+        retention = math.exp(epsilon) / (math.exp(epsilon) + n - 1)
+        assert matrix.isclose(warner_matrix(n, retention))
+
+    def test_k_rr_achieves_exactly_epsilon(self):
+        matrix = k_rr_matrix(7, 0.8)
+        assert ldp_epsilon(matrix) == pytest.approx(0.8)
+
+    def test_epsilon_zero_is_total_randomization(self):
+        assert k_rr_matrix(4, 0.0).isclose(RRMatrix.uniform(4))
+
+    def test_epsilon_of_k_rr_round_trip(self):
+        n, epsilon = 6, 1.5
+        retention = math.exp(epsilon) / (math.exp(epsilon) + n - 1)
+        assert epsilon_of_k_rr(n, retention) == pytest.approx(epsilon)
+
+    def test_epsilon_of_identity_is_infinite(self):
+        assert epsilon_of_k_rr(4, 1.0) == np.inf
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValidationError):
+            k_rr_matrix(4, -1.0)
+        with pytest.raises(ValidationError):
+            k_rr_matrix(4, float("inf"))
+
+
+class TestDeltaEpsilonTranslation:
+    def test_posterior_bound_formula(self, small_prior):
+        epsilon = 1.0
+        bound = max_posterior_under_ldp(small_prior.probabilities, epsilon)
+        p_max = small_prior.max_probability
+        expected = math.exp(epsilon) * p_max / (math.exp(epsilon) * p_max + 1 - p_max)
+        assert bound == pytest.approx(expected)
+
+    def test_epsilon_zero_gives_prior_mode(self, small_prior):
+        assert max_posterior_under_ldp(small_prior.probabilities, 0.0) == pytest.approx(
+            small_prior.max_probability
+        )
+
+    def test_round_trip_delta_epsilon(self, small_prior):
+        delta = 0.7
+        epsilon = epsilon_for_delta_bound(small_prior.probabilities, delta)
+        assert max_posterior_under_ldp(small_prior.probabilities, epsilon) == pytest.approx(delta)
+
+    def test_k_rr_at_translated_epsilon_satisfies_delta(self, small_prior):
+        """The epsilon/delta translation must be sound: the k-RR mechanism at
+        the translated epsilon satisfies the paper's worst-case bound."""
+        delta = 0.65
+        epsilon = epsilon_for_delta_bound(small_prior.probabilities, delta)
+        matrix = k_rr_matrix(small_prior.n_categories, epsilon)
+        assert max_posterior(matrix, small_prior.probabilities) <= delta + 1e-9
+
+    def test_infeasible_delta_rejected(self, small_prior):
+        with pytest.raises(ValidationError, match="Theorem 5"):
+            epsilon_for_delta_bound(small_prior.probabilities, 0.3)

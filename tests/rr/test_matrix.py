@@ -1,0 +1,143 @@
+"""Tests for repro.rr.matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RRMatrixError, SingularMatrixError
+from repro.rr.matrix import RRMatrix, random_rr_matrix
+
+
+class TestConstruction:
+    def test_valid_matrix(self):
+        matrix = RRMatrix(np.array([[0.7, 0.2], [0.3, 0.8]]))
+        assert matrix.n_categories == 2
+        assert matrix.shape == (2, 2)
+
+    def test_rejects_non_stochastic_columns(self):
+        with pytest.raises(RRMatrixError):
+            RRMatrix(np.array([[0.7, 0.2], [0.4, 0.8]]))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(RRMatrixError):
+            RRMatrix(np.ones((2, 3)) / 2)
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(RRMatrixError):
+            RRMatrix(np.array([[1.2, 0.0], [-0.2, 1.0]]))
+
+    def test_underlying_array_is_read_only(self):
+        matrix = RRMatrix.identity(3)
+        with pytest.raises(ValueError):
+            matrix.probabilities[0, 0] = 0.5
+
+    def test_from_rows(self):
+        matrix = RRMatrix.from_rows([[0.9, 0.1], [0.1, 0.9]])
+        assert matrix[0, 0] == pytest.approx(0.9)
+
+
+class TestSpecialMatrices:
+    def test_identity(self):
+        matrix = RRMatrix.identity(4)
+        np.testing.assert_allclose(matrix.probabilities, np.eye(4))
+
+    def test_uniform(self):
+        matrix = RRMatrix.uniform(4)
+        np.testing.assert_allclose(matrix.probabilities, 0.25)
+
+    def test_uniform_is_singular(self):
+        assert not RRMatrix.uniform(3).is_invertible
+
+
+class TestEqualityAndHash:
+    def test_equal_matrices(self):
+        a = RRMatrix.identity(3)
+        b = RRMatrix.identity(3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_matrices(self):
+        assert RRMatrix.identity(3) != RRMatrix.uniform(3)
+
+    def test_isclose(self):
+        a = RRMatrix(np.array([[0.7, 0.3], [0.3, 0.7]]))
+        b = RRMatrix(np.array([[0.7 + 1e-12, 0.3], [0.3 - 1e-12, 0.7]]))
+        assert a.isclose(b)
+
+    def test_isclose_different_sizes(self):
+        assert not RRMatrix.identity(2).isclose(RRMatrix.identity(3))
+
+
+class TestLinearAlgebra:
+    def test_inverse_round_trip(self):
+        matrix = RRMatrix(np.array([[0.8, 0.3], [0.2, 0.7]]))
+        np.testing.assert_allclose(
+            matrix.probabilities @ matrix.inverse(), np.eye(2), atol=1e-12
+        )
+
+    def test_inverse_is_cached(self):
+        matrix = RRMatrix.identity(3)
+        assert matrix.inverse() is matrix.inverse()
+
+    def test_singular_matrix_raises(self):
+        with pytest.raises(SingularMatrixError):
+            RRMatrix.uniform(3).inverse()
+
+    def test_disguise_distribution(self, small_prior):
+        matrix = RRMatrix.identity(4)
+        np.testing.assert_allclose(
+            matrix.disguise_distribution(small_prior.probabilities),
+            small_prior.probabilities,
+        )
+
+    def test_disguise_distribution_shape_check(self):
+        with pytest.raises(RRMatrixError):
+            RRMatrix.identity(3).disguise_distribution(np.array([0.5, 0.5]))
+
+    def test_disguised_distribution_sums_to_one(self, rng):
+        matrix = random_rr_matrix(5, seed=rng)
+        prior = rng.dirichlet(np.ones(5))
+        assert matrix.disguise_distribution(prior).sum() == pytest.approx(1.0)
+
+
+class TestColumnAccess:
+    def test_column_is_copy(self):
+        matrix = RRMatrix.identity(3)
+        column = matrix.column(0)
+        column[0] = 0.0
+        assert matrix[0, 0] == 1.0
+
+    def test_replace_column(self):
+        matrix = RRMatrix.identity(3)
+        updated = matrix.replace_column(0, np.array([0.5, 0.25, 0.25]))
+        assert updated[0, 0] == pytest.approx(0.5)
+        assert matrix[0, 0] == 1.0  # original unchanged
+
+    def test_replace_column_validates(self):
+        with pytest.raises(RRMatrixError):
+            RRMatrix.identity(3).replace_column(0, np.array([0.9, 0.9, 0.9]))
+
+    def test_diagonal(self):
+        matrix = RRMatrix(np.array([[0.6, 0.5], [0.4, 0.5]]))
+        np.testing.assert_allclose(matrix.diagonal(), [0.6, 0.5])
+
+
+class TestRandomMatrix:
+    def test_is_column_stochastic(self, rng):
+        matrix = random_rr_matrix(6, seed=rng)
+        np.testing.assert_allclose(matrix.probabilities.sum(axis=0), 1.0)
+
+    def test_reproducible(self):
+        a = random_rr_matrix(5, seed=42)
+        b = random_rr_matrix(5, seed=42)
+        assert a == b
+
+    def test_diagonal_bias_moves_towards_identity(self):
+        unbiased = random_rr_matrix(5, seed=0)
+        biased = random_rr_matrix(5, seed=0, diagonal_bias=50.0)
+        assert biased.diagonal().mean() > unbiased.diagonal().mean()
+
+    def test_rejects_negative_bias(self):
+        with pytest.raises(RRMatrixError):
+            random_rr_matrix(5, diagonal_bias=-1.0)

@@ -1,0 +1,110 @@
+"""Tests for repro.rr.multidim."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import CategoricalDataset
+from repro.exceptions import DataError, RRMatrixError
+from repro.rr.matrix import RRMatrix
+from repro.rr.multidim import MultiDimensionalRR, joint_distribution_from_marginals
+from repro.rr.schemes import warner_matrix
+
+
+@pytest.fixture
+def two_attribute_dataset(rng) -> CategoricalDataset:
+    n = 5000
+    return CategoricalDataset.from_columns(
+        {
+            "a": rng.choice(3, size=n, p=[0.5, 0.3, 0.2]),
+            "b": rng.choice(2, size=n, p=[0.7, 0.3]),
+        },
+        {"a": ("a0", "a1", "a2"), "b": ("b0", "b1")},
+    )
+
+
+class TestConstruction:
+    def test_valid(self):
+        rr = MultiDimensionalRR(("a", "b"), (warner_matrix(3, 0.7), warner_matrix(2, 0.8)))
+        assert rr.domain_sizes == (3, 2)
+        assert rr.joint_domain_size == 6
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            MultiDimensionalRR(("a",), (warner_matrix(3, 0.7), warner_matrix(2, 0.8)))
+
+    def test_duplicate_names(self):
+        with pytest.raises(DataError):
+            MultiDimensionalRR(("a", "a"), (warner_matrix(3, 0.7), warner_matrix(3, 0.8)))
+
+
+class TestJointMatrix:
+    def test_kronecker_structure(self):
+        m1, m2 = warner_matrix(2, 0.9), warner_matrix(2, 0.6)
+        joint = MultiDimensionalRR(("a", "b"), (m1, m2)).joint_matrix()
+        np.testing.assert_allclose(
+            joint.probabilities, np.kron(m1.probabilities, m2.probabilities)
+        )
+
+    def test_joint_is_column_stochastic(self):
+        joint = MultiDimensionalRR(
+            ("a", "b"), (warner_matrix(3, 0.5), warner_matrix(4, 0.7))
+        ).joint_matrix()
+        np.testing.assert_allclose(joint.probabilities.sum(axis=0), 1.0)
+
+    def test_refuses_huge_joint_domains(self):
+        matrices = tuple(warner_matrix(20, 0.8) for _ in range(3))
+        rr = MultiDimensionalRR(("a", "b", "c"), matrices)
+        with pytest.raises(RRMatrixError, match="too large"):
+            rr.joint_matrix()
+
+
+class TestRandomizeAndEstimate:
+    def test_randomize_both_attributes(self, two_attribute_dataset):
+        rr = MultiDimensionalRR(("a", "b"), (warner_matrix(3, 0.7), warner_matrix(2, 0.8)))
+        disguised = rr.randomize(two_attribute_dataset, seed=0)
+        assert disguised.n_records == two_attribute_dataset.n_records
+        # With retention < 1 the columns should not be identical.
+        assert not np.array_equal(disguised.column("a"), two_attribute_dataset.column("a"))
+
+    def test_joint_estimation_recovers_joint_distribution(self, two_attribute_dataset):
+        rr = MultiDimensionalRR(("a", "b"), (warner_matrix(3, 0.7), warner_matrix(2, 0.8)))
+        disguised = rr.randomize(two_attribute_dataset, seed=1)
+        estimate = rr.estimate_joint_distribution(disguised)
+        joint_codes = rr.encode_joint(two_attribute_dataset)
+        truth = np.bincount(joint_codes, minlength=6) / two_attribute_dataset.n_records
+        assert np.abs(estimate.probabilities - truth).max() < 0.05
+
+    def test_marginal_estimation(self, two_attribute_dataset):
+        rr = MultiDimensionalRR(("a", "b"), (warner_matrix(3, 0.7), warner_matrix(2, 0.8)))
+        disguised = rr.randomize(two_attribute_dataset, seed=2)
+        marginals = rr.estimate_marginals(disguised)
+        truth_a = two_attribute_dataset.distribution("a").probabilities
+        assert np.abs(marginals["a"].probabilities - truth_a).max() < 0.05
+
+    def test_unknown_method(self, two_attribute_dataset):
+        rr = MultiDimensionalRR(("a", "b"), (warner_matrix(3, 0.7), warner_matrix(2, 0.8)))
+        with pytest.raises(DataError):
+            rr.estimate_joint_distribution(two_attribute_dataset, method="magic")
+
+
+class TestEncodeJoint:
+    def test_mixed_radix_encoding(self):
+        dataset = CategoricalDataset.from_columns(
+            {"a": [0, 1, 2], "b": [1, 0, 1]},
+            {"a": ("x", "y", "z"), "b": ("u", "v")},
+        )
+        rr = MultiDimensionalRR(("a", "b"), (RRMatrix.identity(3), RRMatrix.identity(2)))
+        np.testing.assert_array_equal(rr.encode_joint(dataset), [1, 2, 5])
+
+
+class TestJointFromMarginals:
+    def test_outer_product(self):
+        joint = joint_distribution_from_marginals([np.array([0.5, 0.5]), np.array([0.2, 0.8])])
+        np.testing.assert_allclose(joint, [0.1, 0.4, 0.1, 0.4])
+        assert joint.sum() == pytest.approx(1.0)
+
+    def test_requires_at_least_one(self):
+        with pytest.raises(DataError):
+            joint_distribution_from_marginals([])

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig4a" in output
+        assert "thm2" in output
+
+
+class TestSearchSpace:
+    def test_prints_fact1_exponent(self, capsys):
+        assert main(["search-space", "--categories", "10", "--grid", "100"]) == 0
+        assert "10^126" in capsys.readouterr().out
+
+
+class TestOptimize:
+    def test_optimize_small_run(self, capsys):
+        exit_code = main([
+            "optimize",
+            "--distribution", "normal",
+            "--categories", "6",
+            "--records", "2000",
+            "--delta", "0.8",
+            "--generations", "15",
+            "--population", "12",
+            "--seed", "1",
+            "--plot",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "privacy range" in output
+        assert "Pareto front" in output
+
+    def test_optimize_adult_attribute(self, capsys):
+        exit_code = main([
+            "optimize",
+            "--distribution", "adult:sex",
+            "--records", "1000",
+            "--generations", "10",
+            "--population", "8",
+        ])
+        assert exit_code == 0
+        assert "privacy range" in capsys.readouterr().out
+
+
+class TestCompareSchemes:
+    def test_prints_three_family_tables(self, capsys):
+        assert main(["compare-schemes", "--categories", "5", "--records", "1000"]) == 0
+        output = capsys.readouterr().out
+        assert "warner" in output
+        assert "frapp" in output
+        assert "uniform-perturbation" in output
+
+
+class TestRun:
+    def test_run_fact1(self, capsys):
+        assert main(["run", "fact1"]) == 0
+        assert "1.98e126" in capsys.readouterr().out.replace("REPRODUCED] fact1: paper: ", "")
+
+    def test_run_fig4a_small(self, capsys):
+        exit_code = main([
+            "run", "fig4a", "--generations", "30", "--population", "12", "--plot",
+        ])
+        output = capsys.readouterr().out
+        assert "fig4a" in output
+        assert exit_code in (0, 1)  # tiny budgets may legitimately diverge
+
+    def test_unknown_experiment_raises(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "does-not-exist"])
+
+
+class TestArgumentErrors:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

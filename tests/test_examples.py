@@ -1,0 +1,83 @@
+"""Smoke tests executing every example script with a reduced budget.
+
+The examples are user-facing documentation; these tests guarantee they keep
+running as the library evolves.  Each example is executed in-process (so the
+installed package is used) with its ``main`` function where possible.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, monkeypatch, argv: list[str] | None = None) -> None:
+    monkeypatch.setattr(sys, "argv", [name] + (argv or []))
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+
+
+@pytest.fixture(autouse=True)
+def shrink_optimizer_budget(monkeypatch):
+    """Patch OptRRConfig defaults so the examples finish quickly in CI."""
+    from repro.core import config as config_module
+
+    original = config_module.OptRRConfig
+
+    class SmallConfig(original):  # type: ignore[misc,valid-type]
+        def __new__(cls, *args, **kwargs):  # pragma: no cover - trivial
+            return super().__new__(cls)
+
+        def __init__(self, *args, **kwargs):
+            kwargs.setdefault("population_size", 16)
+            kwargs.setdefault("archive_size", 16)
+            kwargs["population_size"] = min(kwargs["population_size"], 16)
+            kwargs["archive_size"] = min(kwargs["archive_size"], 16)
+            kwargs["n_generations"] = min(kwargs.get("n_generations", 50), 50)
+            super().__init__(*args, **kwargs)
+
+    for module_name, module in list(sys.modules.items()):
+        if module_name.startswith("repro") and hasattr(module, "OptRRConfig"):
+            monkeypatch.setattr(module, "OptRRConfig", SmallConfig)
+    yield
+
+
+class TestExamplesRun:
+    def test_example_files_exist(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {"quickstart.py", "scheme_comparison.py", "adult_survey.py",
+                "association_mining.py", "decision_tree_mining.py"} <= names
+
+    def test_quickstart(self, monkeypatch, capsys):
+        run_example("quickstart.py", monkeypatch)
+        output = capsys.readouterr().out
+        assert "Chosen matrix" in output
+        assert "Reconstruction MSE" in output
+
+    def test_scheme_comparison(self, monkeypatch, capsys):
+        run_example("scheme_comparison.py", monkeypatch, argv=["0.8"])
+        output = capsys.readouterr().out
+        assert "optrr" in output
+        assert "warner" in output
+
+    def test_adult_survey(self, monkeypatch, capsys):
+        run_example("adult_survey.py", monkeypatch)
+        output = capsys.readouterr().out
+        assert "Adult-like dataset" in output
+        assert "optrr" in output
+
+    def test_association_mining(self, monkeypatch, capsys):
+        run_example("association_mining.py", monkeypatch)
+        output = capsys.readouterr().out
+        assert "Mined" in output
+        assert "support(income=high & buys=yes)" in output
+
+    def test_decision_tree_mining(self, monkeypatch, capsys):
+        run_example("decision_tree_mining.py", monkeypatch)
+        output = capsys.readouterr().out
+        assert "Decision tree reconstructed" in output
+        assert "Accuracy on the original records" in output

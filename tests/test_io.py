@@ -1,0 +1,104 @@
+"""Tests for repro.io (serialization of matrices and results)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import OptRRConfig
+from repro.core.optimizer import OptRROptimizer
+from repro.exceptions import ValidationError
+from repro.io import (
+    load_matrix,
+    load_result,
+    matrix_from_dict,
+    matrix_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_matrix,
+    save_result,
+)
+from repro.rr.matrix import RRMatrix
+from repro.rr.schemes import warner_matrix
+
+
+class TestMatrixSerialization:
+    def test_round_trip_dict(self):
+        matrix = warner_matrix(5, 0.63)
+        restored = matrix_from_dict(matrix_to_dict(matrix))
+        assert restored == matrix
+
+    def test_round_trip_file(self, tmp_path):
+        matrix = warner_matrix(4, 0.42)
+        path = save_matrix(matrix, tmp_path / "matrix.json")
+        assert path.exists()
+        assert load_matrix(path) == matrix
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = save_matrix(RRMatrix.identity(3), tmp_path / "matrix.json")
+        document = json.loads(path.read_text())
+        assert document["type"] == "rr_matrix"
+        assert document["n_categories"] == 3
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValidationError, match="expected"):
+            matrix_from_dict({"type": "something", "format_version": 1})
+
+    def test_rejects_wrong_version(self):
+        document = matrix_to_dict(RRMatrix.identity(2))
+        document["format_version"] = 99
+        with pytest.raises(ValidationError, match="format version"):
+            matrix_from_dict(document)
+
+    def test_rejects_inconsistent_size(self):
+        document = matrix_to_dict(RRMatrix.identity(3))
+        document["n_categories"] = 4
+        with pytest.raises(ValidationError, match="does not match"):
+            matrix_from_dict(document)
+
+    def test_rejects_corrupted_probabilities(self):
+        document = matrix_to_dict(RRMatrix.identity(3))
+        document["probabilities"][0][0] = 5.0
+        with pytest.raises(Exception):
+            matrix_from_dict(document)
+
+
+class TestResultSerialization:
+    @pytest.fixture(scope="class")
+    def result(self, ):
+        prior = np.array([0.4, 0.35, 0.25])
+        config = OptRRConfig(
+            population_size=10, archive_size=10, n_generations=10, delta=0.8, seed=0
+        )
+        return OptRROptimizer(prior, 1000, config).run()
+
+    def test_round_trip_dict(self, result):
+        restored = result_from_dict(result_to_dict(result))
+        assert len(restored) == len(result)
+        np.testing.assert_allclose(restored.objectives(), result.objectives())
+        assert restored.n_generations == result.n_generations
+        assert restored.n_evaluations == result.n_evaluations
+
+    def test_round_trip_preserves_matrices(self, result):
+        restored = result_from_dict(result_to_dict(result))
+        for original, loaded in zip(result, restored):
+            assert original.matrix == loaded.matrix
+
+    def test_round_trip_file(self, result, tmp_path):
+        path = save_result(result, tmp_path / "result.json")
+        restored = load_result(path)
+        np.testing.assert_allclose(restored.privacy_values(), result.privacy_values())
+
+    def test_optimal_set_points_optional(self, result, tmp_path):
+        without = result_to_dict(result)
+        assert "optimal_set_points" not in without
+        with_set = result_to_dict(result, include_optimal_set=True)
+        assert len(with_set["optimal_set_points"]) == len(result.optimal_set_points)
+        restored = result_from_dict(with_set)
+        assert len(restored.optimal_set_points) == len(result.optimal_set_points)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValidationError):
+            result_from_dict({"type": "rr_matrix", "format_version": 1})

@@ -1,0 +1,45 @@
+"""Tests for repro.utils.linalg."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SingularMatrixError
+from repro.utils.linalg import condition_number, is_invertible, safe_inverse
+
+
+class TestConditionNumber:
+    def test_identity_has_condition_one(self):
+        assert condition_number(np.eye(4)) == pytest.approx(1.0)
+
+    def test_singular_matrix_has_huge_condition(self):
+        singular = np.ones((3, 3))
+        assert condition_number(singular) > 1e12
+
+
+class TestIsInvertible:
+    def test_identity_is_invertible(self):
+        assert is_invertible(np.eye(3))
+
+    def test_uniform_matrix_is_not(self):
+        assert not is_invertible(np.full((3, 3), 1.0 / 3))
+
+    def test_respects_custom_limit(self):
+        nearly_singular = np.array([[1.0, 1.0], [1.0, 1.0 + 1e-9]])
+        assert is_invertible(nearly_singular, condition_limit=1e12)
+        assert not is_invertible(nearly_singular, condition_limit=1e6)
+
+
+class TestSafeInverse:
+    def test_inverts_identity(self):
+        np.testing.assert_allclose(safe_inverse(np.eye(3)), np.eye(3))
+
+    def test_round_trip(self):
+        matrix = np.array([[0.8, 0.1], [0.2, 0.9]])
+        inverse = safe_inverse(matrix)
+        np.testing.assert_allclose(matrix @ inverse, np.eye(2), atol=1e-12)
+
+    def test_raises_on_singular(self):
+        with pytest.raises(SingularMatrixError):
+            safe_inverse(np.ones((3, 3)))

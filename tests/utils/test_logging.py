@@ -1,0 +1,17 @@
+"""Tests for repro.utils.logging."""
+
+from __future__ import annotations
+
+from repro.utils.logging import get_logger
+
+
+def test_root_logger_name():
+    assert get_logger().name == "repro"
+
+
+def test_namespaced_logger():
+    assert get_logger("core.optimizer").name == "repro.core.optimizer"
+
+
+def test_already_namespaced_logger_is_not_doubled():
+    assert get_logger("repro.rr").name == "repro.rr"

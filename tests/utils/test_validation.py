@@ -1,0 +1,137 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, RRMatrixError, ValidationError
+from repro.utils.validation import (
+    check_in_unit_interval,
+    check_positive_int,
+    check_probability_vector,
+    check_square_matrix,
+    check_stochastic_columns,
+    normalize_probabilities,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive_int(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(3), "x") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="positive"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(-2, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "x")
+
+
+class TestCheckInUnitInterval:
+    def test_accepts_bounds_by_default(self):
+        assert check_in_unit_interval(0.0, "p") == 0.0
+        assert check_in_unit_interval(1.0, "p") == 1.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValidationError):
+            check_in_unit_interval(0.0, "p", inclusive_low=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValidationError):
+            check_in_unit_interval(1.0, "p", inclusive_high=False)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_in_unit_interval(1.2, "p")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_in_unit_interval(float("nan"), "p")
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid_vector(self):
+        result = check_probability_vector([0.25, 0.25, 0.5])
+        assert result.sum() == pytest.approx(1.0)
+
+    def test_rejects_non_normalised(self):
+        with pytest.raises(DataError, match="sum to 1"):
+            check_probability_vector([0.5, 0.6])
+
+    def test_rejects_negative(self):
+        with pytest.raises(DataError, match="non-negative"):
+            check_probability_vector([1.2, -0.2])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DataError, match="one-dimensional"):
+            check_probability_vector(np.eye(2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            check_probability_vector([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError, match="finite"):
+            check_probability_vector([np.nan, 1.0])
+
+    def test_clips_tiny_negatives(self):
+        result = check_probability_vector(np.array([1.0 + 1e-12, -1e-12]))
+        assert result.min() >= 0.0
+
+
+class TestNormalizeProbabilities:
+    def test_normalises(self):
+        result = normalize_probabilities([2.0, 2.0])
+        np.testing.assert_allclose(result, [0.5, 0.5])
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(DataError, match="positive sum"):
+            normalize_probabilities([0.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(DataError):
+            normalize_probabilities([1.0, -1.0])
+
+
+class TestCheckSquareMatrix:
+    def test_accepts_square(self):
+        result = check_square_matrix(np.eye(3))
+        assert result.shape == (3, 3)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(RRMatrixError, match="square"):
+            check_square_matrix(np.ones((2, 3)))
+
+    def test_rejects_nan(self):
+        matrix = np.eye(2)
+        matrix[0, 0] = np.nan
+        with pytest.raises(RRMatrixError, match="finite"):
+            check_square_matrix(matrix)
+
+
+class TestCheckStochasticColumns:
+    def test_accepts_column_stochastic(self):
+        matrix = np.array([[0.7, 0.2], [0.3, 0.8]])
+        result = check_stochastic_columns(matrix)
+        np.testing.assert_allclose(result.sum(axis=0), 1.0)
+
+    def test_rejects_bad_column_sum(self):
+        with pytest.raises(RRMatrixError, match="sum to 1"):
+            check_stochastic_columns(np.array([[0.7, 0.2], [0.4, 0.8]]))
+
+    def test_rejects_entries_above_one(self):
+        with pytest.raises(RRMatrixError, match=r"\[0, 1\]"):
+            check_stochastic_columns(np.array([[1.5, 0.0], [-0.5, 1.0]]))
