@@ -16,7 +16,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.core.result import OptimizationResult, ParetoPoint
+from repro.core.result import OptimizationResult
 from repro.data.distribution import CategoricalDistribution
 from repro.emoo.dominance import non_dominated_objectives
 from repro.exceptions import ValidationError

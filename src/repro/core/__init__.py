@@ -12,8 +12,11 @@ from repro.core.config import OptRRConfig
 from repro.core.archive import OptimalSet
 from repro.core.operators import (
     column_crossover,
+    column_crossover_batch,
     enforce_privacy_bound,
+    enforce_privacy_bound_batch,
     proportional_column_mutation,
+    proportional_column_mutation_batch,
     random_initial_matrices,
 )
 from repro.core.problem import RRMatrixProblem
@@ -31,8 +34,11 @@ __all__ = [
     "RRMatrixProblem",
     "brute_force_front",
     "column_crossover",
+    "column_crossover_batch",
     "enforce_privacy_bound",
+    "enforce_privacy_bound_batch",
     "proportional_column_mutation",
+    "proportional_column_mutation_batch",
     "random_initial_matrices",
     "rr_matrix_combinations",
 ]

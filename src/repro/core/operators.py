@@ -20,10 +20,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.metrics.privacy import posterior_matrix
+from repro.metrics.privacy import posterior_matrix, posterior_tensor
 from repro.rr.matrix import RRMatrix, random_rr_matrix
 from repro.types import SeedLike, as_rng
-from repro.utils.validation import check_in_unit_interval, check_positive_int
+from repro.utils.validation import (
+    check_in_unit_interval,
+    check_matrix_stack,
+    check_positive_int,
+)
 
 #: Tiny value used to keep columns strictly positive where renormalisation
 #: would otherwise divide by zero.
@@ -145,8 +149,13 @@ def enforce_privacy_bound(
     ``theta[i, j]`` is reduced towards the value that makes the posterior
     exactly ``delta`` and the removed mass is redistributed over the other
     entries of column ``j`` proportionally to ``1 - value``.  Because the
-    posteriors of a column interact, the procedure iterates up to
-    ``max_passes`` times; matrices that cannot be repaired (e.g. when
+    posteriors of a column interact (shrinking ``theta[i, j]`` shrinks row
+    ``i``'s normaliser, which *raises* the other posteriors of that report,
+    and the redistributed mass raises posteriors elsewhere in column ``j``),
+    a single pass can overshoot, so the procedure iterates up to
+    ``max_passes`` times and returns the *best state seen* — the visited
+    matrix with the smallest worst-case posterior, which is never worse than
+    the input.  Matrices that cannot be repaired (e.g. when
     ``delta < max P(X)``, which Theorem 5 proves impossible to satisfy) are
     returned in their best-effort state and the evaluator marks them
     infeasible.
@@ -156,12 +165,17 @@ def enforce_privacy_bound(
     prior = np.asarray(prior, dtype=np.float64)
     values = matrix.as_array()
     n = matrix.n_categories
-    for _ in range(max_passes):
+    best_values = values
+    best_worst = np.inf
+    for pass_index in range(max_passes + 1):
         posterior = posterior_matrix(values, prior)
-        worst = posterior.max()
-        if worst <= delta + tolerance:
+        worst = float(posterior.max())
+        if worst < best_worst:
+            best_worst = worst
+            best_values = values.copy()
+        if worst <= delta + tolerance or pass_index == max_passes:
             break
-        # Visit every violating (report i, original j) pair.
+        # Visit the worst violating (report i, original j) pair.
         report_index, original_index = np.unravel_index(np.argmax(posterior), posterior.shape)
         i, j = int(report_index), int(original_index)
         # Posterior(i, j) = theta[i, j] p_j / sum_l theta[i, l] p_l.
@@ -189,7 +203,217 @@ def enforce_privacy_bound(
         if column_sum <= 0:
             break
         values[:, j] = column / column_sum
-    return RRMatrix(values)
+    return RRMatrix(best_values)
+
+
+# -- batched variants ---------------------------------------------------------
+#
+# The batch-evaluation engine moves whole populations through the variation
+# pipeline as (B, n, n) stacks.  The batched operators below apply the same
+# per-matrix math as their scalar counterparts, vectorized over the leading
+# batch axis; the scalar functions remain the reference implementations.
+
+
+def column_crossover_batch(
+    first: np.ndarray,
+    second: np.ndarray,
+    rng: SeedLike = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched column crossover: one random boundary per parent pair.
+
+    ``first`` and ``second`` are ``(P, n, n)`` stacks of paired parents; both
+    children of every pair are returned as stacks.  Whole columns are swapped,
+    so the children stay column-stochastic by construction.
+    """
+    first = check_matrix_stack(first, "first")
+    second = check_matrix_stack(second, "second")
+    if first.shape != second.shape:
+        raise ValidationError(
+            f"parent stacks must have the same shape, got {first.shape} and {second.shape}"
+        )
+    n = first.shape[-1]
+    if first.shape[0] == 0 or n < 2:
+        return first.copy(), second.copy()
+    generator = as_rng(rng)
+    cuts = generator.integers(1, n, size=first.shape[0])
+    swap = (np.arange(n)[None, :] >= cuts[:, None])[:, None, :]  # (P, 1, n)
+    child_a = np.where(swap, second, first)
+    child_b = np.where(swap, first, second)
+    return child_a, child_b
+
+
+def _rebalance_columns_batch(
+    columns: np.ndarray, changed: np.ndarray, delta: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`_rebalance_column`: apply ``delta[b]`` to
+    ``columns[b, changed[b]]`` and redistribute ``-delta[b]`` over the other
+    entries of each column, with the same undo/clip/renormalise rules."""
+    columns = np.asarray(columns, dtype=np.float64)
+    batch_size, n = columns.shape
+    rows = np.arange(batch_size)
+    cols = columns.copy()
+    cols[rows, changed] = cols[rows, changed] + delta
+    others = np.ones((batch_size, n), dtype=bool)
+    others[rows, changed] = False
+    positive = delta > 0
+    weights = np.where(others, cols, 0.0)
+    total_weight = weights.sum(axis=1)
+    headroom = np.where(others, 1.0 - cols, 0.0)
+    total_headroom = headroom.sum(axis=1)
+    # Undo rows: nothing to take from / add to, so the change is reverted
+    # (including the same add-then-subtract rounding as the scalar code).
+    undo = (positive & (total_weight <= _EPSILON)) | (~positive & (total_headroom <= _EPSILON))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        subtract = delta[:, None] * weights / np.where(total_weight > 0, total_weight, 1.0)[:, None]
+        add = (-delta)[:, None] * headroom / np.where(total_headroom > 0, total_headroom, 1.0)[:, None]
+    adjusted = cols + np.where(positive[:, None], -subtract, add)
+    adjusted = np.clip(adjusted, 0.0, 1.0)
+    sums = adjusted.sum(axis=1)
+    degenerate = sums <= 0
+    result = np.where(
+        degenerate[:, None],
+        1.0 / n,
+        adjusted / np.where(degenerate, 1.0, sums)[:, None],
+    )
+    if undo.any():
+        reverted = cols.copy()
+        reverted[rows, changed] = reverted[rows, changed] - delta
+        result[undo] = reverted[undo]
+    return result
+
+
+def proportional_column_mutation_batch(
+    stack: np.ndarray,
+    rng: SeedLike = None,
+    *,
+    scale: float = 0.3,
+) -> np.ndarray:
+    """Batched proportional column mutation: one mutation per matrix.
+
+    For every matrix in the ``(B, n, n)`` stack a random element of a random
+    column is perturbed and the rest of the column is rescaled, exactly as in
+    :func:`proportional_column_mutation` (including the saturation-flip rule);
+    only the random draws are vectorized.
+    """
+    check_in_unit_interval(scale, "scale", inclusive_low=False)
+    stack = check_matrix_stack(stack, "stack")
+    batch_size, n, _ = stack.shape
+    if batch_size == 0:
+        return stack.copy()
+    generator = as_rng(rng)
+    column_indices = generator.integers(0, n, size=batch_size)
+    element_indices = generator.integers(0, n, size=batch_size)
+    magnitudes = generator.uniform(0.0, scale, size=batch_size)
+    add = generator.integers(0, 2, size=batch_size).astype(bool)
+    rows = np.arange(batch_size)
+    columns = stack[rows, :, column_indices]  # (B, n) copies via fancy indexing
+    element_values = columns[rows, element_indices]
+    delta = np.where(
+        add,
+        np.minimum(magnitudes, 1.0 - element_values),
+        -np.minimum(magnitudes, element_values),
+    )
+    # The element is already saturated in the chosen direction; flip it
+    # (same rule as the scalar operator).
+    saturated = np.abs(delta) <= _EPSILON
+    flip_add = np.minimum(magnitudes, 1.0 - element_values)
+    flip_sub = -np.minimum(magnitudes, element_values)
+    flipped = np.where(flip_add != 0.0, flip_add, flip_sub)
+    delta = np.where(saturated, np.where(delta != 0.0, -delta, flipped), delta)
+    unchanged = np.abs(delta) <= _EPSILON
+    mutated_columns = _rebalance_columns_batch(columns, element_indices, delta)
+    mutated_columns[unchanged] = columns[unchanged]
+    result = stack.copy()
+    result[rows, :, column_indices] = mutated_columns
+    return result
+
+
+def enforce_privacy_bound_batch(
+    stack: np.ndarray,
+    prior: np.ndarray,
+    delta: float,
+    *,
+    max_passes: int = 50,
+    tolerance: float = 1e-9,
+) -> np.ndarray:
+    """Batched :func:`enforce_privacy_bound` over a ``(B, n, n)`` stack.
+
+    Each matrix follows the same trajectory as the scalar repair: per pass
+    the worst violating posterior cell is relaxed towards ``delta`` and the
+    removed mass is redistributed within its column; matrices that meet the
+    bound (or hit one of the scalar early-exit conditions) drop out of the
+    active set, and every matrix returns the best state it visited, so the
+    worst-case posterior never increases.
+    """
+    check_in_unit_interval(delta, "delta", inclusive_low=False)
+    check_positive_int(max_passes, "max_passes")
+    prior = np.asarray(prior, dtype=np.float64)
+    values = check_matrix_stack(stack, "stack").copy()
+    batch_size, n, _ = values.shape
+    if batch_size == 0:
+        return values
+    best = values.copy()
+    best_worst = np.full(batch_size, np.inf)
+    active = np.ones(batch_size, dtype=bool)
+    for pass_index in range(max_passes + 1):
+        index = np.flatnonzero(active)
+        if index.size == 0:
+            break
+        posterior = posterior_tensor(values[index], prior)
+        worst = posterior.reshape(index.size, -1).max(axis=1)
+        improved = worst < best_worst[index]
+        if improved.any():
+            improved_index = index[improved]
+            best[improved_index] = values[improved_index]
+            best_worst[improved_index] = worst[improved]
+        met = worst <= delta + tolerance
+        active[index[met]] = False
+        if pass_index == max_passes:
+            break
+        index = index[~met]
+        if index.size == 0:
+            continue
+        posterior = posterior[~met]
+        flat = posterior.reshape(index.size, -1).argmax(axis=1)
+        i = flat // n
+        j = flat % n
+        local = np.arange(index.size)
+        row_values = values[index, i, :]  # (A, n)
+        cell = values[index, i, j]
+        prior_j = prior[j]
+        row_rest = row_values @ prior - cell * prior_j
+        ok = prior_j > _EPSILON
+        if delta < 1.0:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                target = delta * row_rest / (prior_j * (1.0 - delta))
+        else:
+            target = cell.copy()
+        target = np.clip(target, 0.0, cell)
+        removed = cell - target
+        ok &= removed > _EPSILON
+        columns = values[index, :, j]  # (A, n)
+        columns[local, i] = target
+        others = np.ones((index.size, n), dtype=bool)
+        others[local, i] = False
+        headroom = np.where(others, 1.0 - columns, 0.0)
+        total_headroom = headroom.sum(axis=1)
+        ok &= total_headroom > _EPSILON
+        with np.errstate(divide="ignore", invalid="ignore"):
+            spread = removed[:, None] * headroom / np.where(
+                total_headroom > 0, total_headroom, 1.0
+            )[:, None]
+        new_columns = np.clip(columns + spread, 0.0, 1.0)
+        column_sums = new_columns.sum(axis=1)
+        ok &= column_sums > 0
+        # Matrices that hit a scalar break condition freeze at their current
+        # (already scored) state.
+        active[index[~ok]] = False
+        if ok.any():
+            apply = np.flatnonzero(ok)
+            values[index[apply], :, j[apply]] = (
+                new_columns[apply] / column_sums[apply, None]
+            )
+    return best
 
 
 def random_initial_matrix(

@@ -38,6 +38,7 @@ from repro.emoo.termination import (
 )
 from repro.exceptions import OptimizationError
 from repro.metrics.privacy import check_bound_feasible
+from repro.rr.matrix import stack_matrices
 from repro.types import SeedLike, as_rng
 from repro.utils.logging import get_logger
 
@@ -146,9 +147,10 @@ class OptRROptimizer:
             archive = environmental_selection(
                 union, config.archive_size, density_k=config.density_k
             )
-            # 3-5. Mating selection, crossover, mutation, bound repair.
-            offspring_genomes = self._make_offspring(archive, rng)
-            population = problem.evaluate_genomes(offspring_genomes)
+            # 3-5. Mating selection, crossover, mutation, bound repair — the
+            # whole offspring generation moves as one (B, n, n) stack.
+            offspring_stack = self._make_offspring(archive, rng)
+            population = problem.evaluate_stack(offspring_stack)
             # 6. Update the three sets: Ω absorbs the new generation, and the
             # archive/population are refreshed with Ω's best matrices for the
             # privacy levels they already occupy.
@@ -206,37 +208,39 @@ class OptRROptimizer:
         # baseline comparison); p below 1/n produces the "anti-diagonal"
         # branch that matters at the high-privacy end of the front.
         retention_values = np.linspace(0.0, 1.0, config.baseline_seeds)
-        individuals = []
-        for retention in retention_values:
-            matrix = warner_matrix(n, float(retention))
-            matrix = self._problem.repair(matrix, rng)
-            individuals.append(self._problem.evaluate(matrix))
-        return individuals
+        matrices = [warner_matrix(n, float(retention)) for retention in retention_values]
+        matrices = self._problem.repair_genomes(matrices, rng)
+        return self._problem.evaluate_genomes(matrices)
 
     def _make_offspring(
         self, archive: list[Individual], rng: np.random.Generator
-    ) -> list:
-        """Mating selection, crossover, mutation and bound repair."""
+    ) -> np.ndarray:
+        """Mating selection, crossover, mutation and bound repair, producing
+        the next population as a ``(population_size, n, n)`` stack."""
         config = self.config
         problem = self._problem
         assign_spea2_fitness(archive, config.density_k)
         parents = binary_tournament(archive, config.population_size, seed=rng)
-        genomes = []
-        for index in range(0, len(parents), 2):
-            first = parents[index].genome
-            second = parents[(index + 1) % len(parents)].genome
-            if rng.random() < config.crossover_rate:
-                child_a, child_b = problem.crossover(first, second, rng)
-            else:
-                child_a, child_b = first, second
-            genomes.extend([child_a, child_b])
-        genomes = genomes[: config.population_size]
-        finished = []
-        for genome in genomes:
-            if rng.random() < config.mutation_rate:
-                genome = problem.mutate(genome, rng)
-            finished.append(problem.repair(genome, rng))
-        return finished
+        parent_stack = stack_matrices([parent.genome for parent in parents])
+        n_parents = parent_stack.shape[0]
+        first_index = np.arange(0, n_parents, 2)
+        first = parent_stack[first_index]
+        second = parent_stack[(first_index + 1) % n_parents]
+        crossed = rng.random(size=first.shape[0]) < config.crossover_rate
+        child_a = first.copy()
+        child_b = second.copy()
+        if crossed.any():
+            cross_a, cross_b = problem.crossover_stack(first[crossed], second[crossed], rng)
+            child_a[crossed] = cross_a
+            child_b[crossed] = cross_b
+        children = np.empty((2 * first.shape[0], *parent_stack.shape[1:]))
+        children[0::2] = child_a
+        children[1::2] = child_b
+        children = children[: config.population_size]
+        mutated = rng.random(size=children.shape[0]) < config.mutation_rate
+        if mutated.any():
+            children[mutated] = problem.mutate_stack(children[mutated], rng)
+        return problem.repair_stack(children)
 
     def _refresh_from_optimal_set(
         self, individuals: list[Individual], optimal_set: OptimalSet

@@ -4,26 +4,40 @@ Genomes are :class:`~repro.rr.matrix.RRMatrix` objects; the two minimised
 objectives are ``(-privacy, utility)``; the variation operators are the
 paper's column crossover and proportional column mutation; and the repair
 step enforces the worst-case privacy bound ``delta`` when one is configured.
+
+Evaluation and repair run through the batch engine: whole populations are
+stacked into ``(B, n, n)`` arrays and evaluated with
+:meth:`~repro.metrics.evaluation.MatrixEvaluator.evaluate_batch` /
+:func:`~repro.core.operators.enforce_privacy_bound_batch`.  The scalar
+``evaluate``/``repair`` methods remain as thin wrappers over the same engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.operators import (
     column_crossover,
+    column_crossover_batch,
     enforce_privacy_bound,
+    enforce_privacy_bound_batch,
     proportional_column_mutation,
+    proportional_column_mutation_batch,
     random_initial_matrix,
 )
 from repro.data.distribution import CategoricalDistribution
 from repro.emoo.individual import Individual
 from repro.emoo.problem import Problem
 from repro.metrics.evaluation import MatrixEvaluator
-from repro.rr.matrix import RRMatrix
+from repro.rr.matrix import RRMatrix, stack_matrices, unstack_matrices
 from repro.utils.validation import check_in_unit_interval, check_positive_int
+
+#: Finite utility penalty substituted for the infinite MSE of non-invertible
+#: matrices so objective arrays stay finite for the front-quality indicators.
+SINGULAR_UTILITY_PENALTY = 1e6
 
 
 @dataclass
@@ -90,26 +104,75 @@ class RRMatrixProblem(Problem):
         )
         return self.repair(matrix, rng)
 
+    def initial_population(self, size: int, rng: np.random.Generator) -> list[Individual]:
+        """Create, batch-repair and batch-evaluate ``size`` random genomes.
+
+        The random draws happen sequentially (same stream as generating one
+        genome at a time); repair and evaluation go through the batch engine.
+        """
+        check_positive_int(size, "size")
+        raw = []
+        for _ in range(size):
+            self._counter += 1
+            raw.append(
+                random_initial_matrix(
+                    self.n_categories,
+                    rng,
+                    kind=self._counter,
+                    diagonal_bias=self.diagonal_bias,
+                )
+            )
+        return self.evaluate_genomes(self.repair_genomes(raw, rng))
+
     def evaluate(self, genome: RRMatrix) -> Individual:
         """Evaluate a matrix into an individual with objectives
-        ``(-privacy, utility)``."""
-        self._n_evaluations += 1
-        evaluation = self._evaluator.evaluate(genome)
-        # Non-invertible matrices have infinite utility; replace by a large
-        # finite penalty so objective arrays stay finite for the indicators.
-        utility = evaluation.utility if np.isfinite(evaluation.utility) else 1e6
-        individual = Individual(
-            genome=genome,
-            objectives=np.array([-evaluation.privacy, utility], dtype=np.float64),
-            feasible=evaluation.feasible,
-            metadata={
-                "privacy": evaluation.privacy,
-                "utility": evaluation.utility,
-                "max_posterior": evaluation.max_posterior,
-                "invertible": evaluation.invertible,
-            },
+        ``(-privacy, utility)`` (thin wrapper over the batch engine)."""
+        return self.evaluate_genomes([genome])[0]
+
+    def evaluate_genomes(self, genomes: Sequence[RRMatrix]) -> list[Individual]:
+        """Batch-evaluate a list of matrices into individuals."""
+        if not genomes:
+            return []
+        return self.evaluate_stack(stack_matrices(list(genomes)), genomes=list(genomes))
+
+    def evaluate_stack(
+        self,
+        stack: np.ndarray,
+        *,
+        genomes: list[RRMatrix] | None = None,
+    ) -> list[Individual]:
+        """Evaluate a ``(B, n, n)`` stack of matrices into individuals.
+
+        This is the optimizer hot path: one call computes privacy, utility,
+        worst posterior and feasibility for the whole stack with batched
+        linear algebra.  ``genomes`` can supply pre-built :class:`RRMatrix`
+        objects for the individuals; otherwise the stack is unstacked.
+        """
+        evaluation = self._evaluator.evaluate_batch(stack)
+        size = len(evaluation)
+        self._n_evaluations += size
+        if genomes is None:
+            genomes = unstack_matrices(stack)
+        finite_utility = np.where(
+            np.isfinite(evaluation.utility), evaluation.utility, SINGULAR_UTILITY_PENALTY
         )
-        return individual
+        objectives = np.stack([-evaluation.privacy, finite_utility], axis=1)
+        individuals = []
+        for index in range(size):
+            individuals.append(
+                Individual(
+                    genome=genomes[index],
+                    objectives=objectives[index],
+                    feasible=bool(evaluation.feasible[index]),
+                    metadata={
+                        "privacy": float(evaluation.privacy[index]),
+                        "utility": float(evaluation.utility[index]),
+                        "max_posterior": float(evaluation.max_posterior[index]),
+                        "invertible": bool(evaluation.invertible[index]),
+                    },
+                )
+            )
+        return individuals
 
     def crossover(
         self, first: RRMatrix, second: RRMatrix, rng: np.random.Generator
@@ -126,3 +189,29 @@ class RRMatrixProblem(Problem):
         if self.delta is None:
             return genome
         return enforce_privacy_bound(genome, self.prior.probabilities, self.delta)
+
+    def repair_genomes(
+        self, genomes: Sequence[RRMatrix], rng: np.random.Generator
+    ) -> list[RRMatrix]:
+        """Batch bound-repair for a list of matrices."""
+        genomes = list(genomes)
+        if self.delta is None or not genomes:
+            return genomes
+        return unstack_matrices(self.repair_stack(stack_matrices(genomes)))
+
+    # -- stacked variation (used by the batched offspring pipeline) ------------
+    def crossover_stack(
+        self, first: np.ndarray, second: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched column crossover over paired parent stacks."""
+        return column_crossover_batch(first, second, rng)
+
+    def mutate_stack(self, stack: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Batched proportional column mutation (one mutation per matrix)."""
+        return proportional_column_mutation_batch(stack, rng, scale=self.mutation_scale)
+
+    def repair_stack(self, stack: np.ndarray) -> np.ndarray:
+        """Batched bound repair; identity when no ``delta`` is configured."""
+        if self.delta is None:
+            return stack
+        return enforce_privacy_bound_batch(stack, self.prior.probabilities, self.delta)

@@ -11,13 +11,20 @@ opaque genomes.  ``repro.core`` instantiates it with RR matrices as genomes.
 """
 
 from repro.emoo.individual import Individual
-from repro.emoo.dominance import dominates, non_dominated, pareto_ranks
-from repro.emoo.fitness import assign_spea2_fitness
+from repro.emoo.dominance import (
+    dominance_matrix_from_arrays,
+    dominates,
+    non_dominated,
+    pareto_ranks,
+    pareto_ranks_from_arrays,
+    pareto_ranks_reference,
+)
+from repro.emoo.fitness import assign_spea2_fitness, spea2_fitness_from_arrays
 from repro.emoo.density import kth_nearest_distances, spea2_density
 from repro.emoo.selection import binary_tournament, environmental_selection
 from repro.emoo.problem import Problem
 from repro.emoo.spea2 import SPEA2, SPEA2Settings
-from repro.emoo.nsga2 import NSGA2, NSGA2Settings
+from repro.emoo.nsga2 import NSGA2, NSGA2Settings, crowding_distances_from_objectives
 from repro.emoo.weighted_sum import WeightedSumGA, WeightedSumSettings
 from repro.emoo.indicators import (
     coverage,
@@ -46,6 +53,8 @@ __all__ = [
     "assign_spea2_fitness",
     "binary_tournament",
     "coverage",
+    "crowding_distances_from_objectives",
+    "dominance_matrix_from_arrays",
     "dominates",
     "environmental_selection",
     "epsilon_indicator",
@@ -53,6 +62,9 @@ __all__ = [
     "kth_nearest_distances",
     "non_dominated",
     "pareto_ranks",
+    "pareto_ranks_from_arrays",
+    "pareto_ranks_reference",
     "spea2_density",
+    "spea2_fitness_from_arrays",
     "spread_2d",
 ]

@@ -4,6 +4,12 @@ All objectives are minimised.  Constrained dominance is used: a feasible
 individual dominates any infeasible one; two infeasible individuals are
 compared on their objectives like feasible ones (so the population can still
 be driven towards feasibility).
+
+Everything here is array-first: the dominance matrix, non-dominated filtering
+and non-dominated sorting all operate on plain ``(size, n_objectives)``
+objective arrays (plus a feasibility mask) via broadcasting, and the
+``Individual``-based functions are thin wrappers.  A pure-Python front-peeling
+reference (:func:`pareto_ranks_reference`) is kept for the equivalence tests.
 """
 
 from __future__ import annotations
@@ -27,23 +33,42 @@ def dominates(first: Individual, second: Individual) -> bool:
     return bool(np.all(a <= b) and np.any(a < b))
 
 
+def feasibility_array(population: list[Individual]) -> np.ndarray:
+    """Boolean feasibility mask of ``population``."""
+    return np.array([individual.feasible for individual in population], dtype=bool)
+
+
+def dominance_matrix_from_arrays(
+    objectives: np.ndarray, feasible: np.ndarray | None = None
+) -> np.ndarray:
+    """Boolean matrix ``D`` with ``D[i, j] = True`` iff row ``i`` of
+    ``objectives`` dominates row ``j``, under constrained dominance when a
+    ``feasible`` mask is given.  Fully broadcasted — no Python loops."""
+    objectives = np.asarray(objectives, dtype=np.float64)
+    size = objectives.shape[0]
+    if size == 0:
+        return np.zeros((0, 0), dtype=bool)
+    less_equal = np.all(objectives[:, None, :] <= objectives[None, :, :], axis=2)
+    strictly_less = np.any(objectives[:, None, :] < objectives[None, :, :], axis=2)
+    matrix = less_equal & strictly_less
+    if feasible is not None:
+        feasible = np.asarray(feasible, dtype=bool)
+        feasibility_dominance = feasible[:, None] & ~feasible[None, :]
+        same_feasibility = feasible[:, None] == feasible[None, :]
+        matrix = feasibility_dominance | (same_feasibility & matrix)
+    np.fill_diagonal(matrix, False)
+    return matrix
+
+
 def dominance_matrix(population: list[Individual]) -> np.ndarray:
     """Boolean matrix ``D`` with ``D[i, j] = True`` iff individual ``i``
     dominates individual ``j``.  Vectorised so fitness assignment over a few
     hundred individuals stays fast."""
-    size = len(population)
-    if size == 0:
+    if not population:
         return np.zeros((0, 0), dtype=bool)
-    objectives = objectives_array(population)
-    feasible = np.array([individual.feasible for individual in population], dtype=bool)
-    less_equal = np.all(objectives[:, None, :] <= objectives[None, :, :], axis=2)
-    strictly_less = np.any(objectives[:, None, :] < objectives[None, :, :], axis=2)
-    objective_dominance = less_equal & strictly_less
-    feasibility_dominance = feasible[:, None] & ~feasible[None, :]
-    same_feasibility = feasible[:, None] == feasible[None, :]
-    matrix = feasibility_dominance | (same_feasibility & objective_dominance)
-    np.fill_diagonal(matrix, False)
-    return matrix
+    return dominance_matrix_from_arrays(
+        objectives_array(population), feasibility_array(population)
+    )
 
 
 def non_dominated(population: list[Individual]) -> list[Individual]:
@@ -55,10 +80,58 @@ def non_dominated(population: list[Individual]) -> list[Individual]:
     return [individual for individual, flag in zip(population, dominated) if not flag]
 
 
+def pareto_ranks_from_arrays(
+    objectives: np.ndarray, feasible: np.ndarray | None = None
+) -> np.ndarray:
+    """Non-dominated sorting ranks (0 = first front) over raw arrays.
+
+    Fronts are peeled with boolean matrix reductions instead of per-individual
+    queues: at each step the individuals not dominated by any still-alive
+    individual form the next front.  Equivalent to the classic fast
+    non-dominated sort (see :func:`pareto_ranks_reference`), but every peel is
+    one ``any``-reduction over the dominance matrix.
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    size = objectives.shape[0]
+    ranks = np.full(size, -1, dtype=np.int64)
+    if size == 0:
+        return ranks
+    matrix = dominance_matrix_from_arrays(objectives, feasible)
+    alive = np.ones(size, dtype=bool)
+    front_index = 0
+    while alive.any():
+        dominated_by_alive = matrix[alive].any(axis=0)
+        front = alive & ~dominated_by_alive
+        # A strict partial order always has minimal elements, so the peel
+        # terminates; guard anyway so a broken dominance matrix cannot hang.
+        assert front.any(), "non-dominated sorting failed to peel a front"
+        ranks[front] = front_index
+        alive &= ~front
+        front_index += 1
+    return ranks
+
+
 def pareto_ranks(population: list[Individual]) -> np.ndarray:
     """Non-dominated sorting ranks (0 = first front), as used by NSGA-II.
 
     Also writes the rank back onto each individual's ``rank`` attribute.
+    """
+    if not population:
+        return np.full(0, -1, dtype=np.int64)
+    ranks = pareto_ranks_from_arrays(
+        objectives_array(population), feasibility_array(population)
+    )
+    for individual, rank in zip(population, ranks):
+        individual.rank = int(rank)
+    return ranks
+
+
+def pareto_ranks_reference(population: list[Individual]) -> np.ndarray:
+    """Reference loop implementation of non-dominated sorting (Deb's fast
+    non-dominated sort with explicit domination counts).
+
+    Kept as the ground truth the vectorized :func:`pareto_ranks` is tested
+    against; does *not* write ranks back onto the individuals.
     """
     size = len(population)
     ranks = np.full(size, -1, dtype=np.int64)
@@ -81,10 +154,7 @@ def pareto_ranks(population: list[Individual]) -> np.ndarray:
                     next_front.append(int(dominated_index))
         current_front = next_front
         front_index += 1
-    # Defensive: every individual must have been assigned a rank.
     assert remaining == 0, "non-dominated sorting failed to rank every individual"
-    for individual, rank in zip(population, ranks):
-        individual.rank = int(rank)
     return ranks
 
 
@@ -99,14 +169,5 @@ def non_dominated_objectives(objectives: np.ndarray) -> np.ndarray:
         raise ValueError(f"objectives must be 2-D, got shape {points.shape}")
     if points.shape[0] == 0:
         return points
-    keep = np.ones(points.shape[0], dtype=bool)
-    for index in range(points.shape[0]):
-        if not keep[index]:
-            continue
-        others = points[keep]
-        dominated = np.any(
-            np.all(others <= points[index], axis=1) & np.any(others < points[index], axis=1)
-        )
-        if dominated:
-            keep[index] = False
-    return points[keep]
+    matrix = dominance_matrix_from_arrays(points)
+    return points[~matrix.any(axis=0)]

@@ -10,7 +10,9 @@ Fitness is assigned to the union of the archive and the population:
 4. the final fitness is ``F(i) = F'(i) + d(i)``.
 
 Lower fitness is better; non-dominated individuals are exactly those with
-``F(i) < 1``.
+``F(i) < 1``.  The computation is array-level
+(:func:`spea2_fitness_from_arrays`); :func:`assign_spea2_fitness` wraps it
+for ``Individual`` lists and writes the bookkeeping fields back.
 """
 
 from __future__ import annotations
@@ -18,26 +20,50 @@ from __future__ import annotations
 import numpy as np
 
 from repro.emoo.density import spea2_density
-from repro.emoo.dominance import dominance_matrix
+from repro.emoo.dominance import dominance_matrix_from_arrays, feasibility_array
 from repro.emoo.individual import Individual, objectives_array
 
 
-def assign_spea2_fitness(population: list[Individual], k: int = 1) -> None:
+def spea2_fitness_from_arrays(
+    objectives: np.ndarray,
+    feasible: np.ndarray | None = None,
+    k: int = 1,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """SPEA2 strength, density and fitness over raw objective arrays.
+
+    Returns ``(strengths, densities, fitness)``; every step (dominance
+    matrix, strength sums, raw fitness, kth-nearest density) is a matrix
+    reduction with no per-individual Python work.
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    size = objectives.shape[0]
+    if size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0), np.zeros(0)
+    matrix = dominance_matrix_from_arrays(objectives, feasible)
+    strengths = matrix.sum(axis=1)
+    raw_fitness = (matrix * strengths[:, None]).sum(axis=0).astype(np.float64)
+    densities = spea2_density(objectives, k)
+    return strengths, densities, raw_fitness + densities
+
+
+def assign_spea2_fitness(population: list[Individual], k: int = 1) -> np.ndarray:
     """Assign SPEA2 fitness in place to every individual in ``population``.
 
     ``population`` should be the multiset union of the current archive and
-    the current population (the paper's ``Q_t + V_t``).
+    the current population (the paper's ``Q_t + V_t``).  Returns the fitness
+    array so callers can keep working on arrays without re-reading the
+    attributes.
     """
     if not population:
-        return
-    matrix = dominance_matrix(population)
-    strengths = matrix.sum(axis=1)
-    raw_fitness = (matrix * strengths[:, None]).sum(axis=0).astype(np.float64)
-    densities = spea2_density(objectives_array(population), k)
+        return np.zeros(0)
+    strengths, densities, fitness = spea2_fitness_from_arrays(
+        objectives_array(population), feasibility_array(population), k
+    )
     for index, individual in enumerate(population):
         individual.strength = int(strengths[index])
         individual.density = float(densities[index])
-        individual.fitness = float(raw_fitness[index] + densities[index])
+        individual.fitness = float(fitness[index])
+    return fitness
 
 
 def non_dominated_by_fitness(population: list[Individual]) -> list[Individual]:

@@ -46,13 +46,17 @@ class NSGA2Result:
     n_evaluations: int
 
 
-def crowding_distances(front: list[Individual]) -> np.ndarray:
-    """Crowding distance of every individual in a single front."""
-    size = len(front)
+def crowding_distances_from_objectives(objectives: np.ndarray) -> np.ndarray:
+    """Crowding distance of every row of a single front's objective array.
+
+    Pure array computation (one stable argsort per objective); callers that
+    work with ``Individual`` lists use :func:`crowding_distances`.
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    size = objectives.shape[0]
     if size == 0:
         return np.empty(0)
     distances = np.zeros(size, dtype=np.float64)
-    objectives = objectives_array(front)
     for objective_index in range(objectives.shape[1]):
         order = np.argsort(objectives[:, objective_index], kind="stable")
         values = objectives[order, objective_index]
@@ -63,6 +67,18 @@ def crowding_distances(front: list[Individual]) -> np.ndarray:
             continue
         spacing = (values[2:] - values[:-2]) / value_range
         distances[order[1:-1]] += spacing
+    return distances
+
+
+def crowding_distances(front: list[Individual]) -> np.ndarray:
+    """Crowding distance of every individual in a single front.
+
+    Also writes the distance back onto each individual's ``crowding``
+    attribute.
+    """
+    if not front:
+        return np.empty(0)
+    distances = crowding_distances_from_objectives(objectives_array(front))
     for individual, distance in zip(front, distances):
         individual.crowding = float(distance)
     return distances
@@ -115,22 +131,31 @@ class NSGA2:
     # -- internals -----------------------------------------------------------
     def _rank_and_crowd(self, population: list[Individual]) -> None:
         ranks = pareto_ranks(population)
+        objectives = objectives_array(population)
         for rank in range(int(ranks.max()) + 1 if ranks.size else 0):
-            front = [ind for ind, r in zip(population, ranks) if r == rank]
-            crowding_distances(front)
+            front_index = np.flatnonzero(ranks == rank)
+            distances = crowding_distances_from_objectives(objectives[front_index])
+            for index, distance in zip(front_index, distances):
+                population[index].crowding = float(distance)
 
     def _select_next_generation(self, union: list[Individual]) -> list[Individual]:
         target = self.settings.population_size
         ranks = pareto_ranks(union)
+        objectives = objectives_array(union)
         next_population: list[Individual] = []
         for rank in range(int(ranks.max()) + 1):
-            front = [ind for ind, r in zip(union, ranks) if r == rank]
-            crowding_distances(front)
-            if len(next_population) + len(front) <= target:
-                next_population.extend(front)
+            front_index = np.flatnonzero(ranks == rank)
+            distances = crowding_distances_from_objectives(objectives[front_index])
+            for index, distance in zip(front_index, distances):
+                union[index].crowding = float(distance)
+            if len(next_population) + front_index.size <= target:
+                next_population.extend(union[index] for index in front_index)
             else:
-                front.sort(key=lambda individual: individual.crowding, reverse=True)
-                next_population.extend(front[: target - len(next_population)])
+                # Stable sort on negated crowding keeps original order between
+                # ties, matching the list.sort(reverse=True) it replaces.
+                order = np.argsort(-distances, kind="stable")
+                needed = target - len(next_population)
+                next_population.extend(union[front_index[index]] for index in order[:needed])
             if len(next_population) >= target:
                 break
         return next_population
@@ -151,8 +176,10 @@ class NSGA2:
         for genome in genomes:
             if rng.random() < settings.mutation_rate:
                 genome = self.problem.mutate(genome, rng)
-            finished.append(self.problem.repair(genome, rng))
-        return finished
+            finished.append(genome)
+        # Repair runs over the whole offspring list at once so batch-capable
+        # problems (RR matrices) vectorize it.
+        return self.problem.repair_genomes(finished, rng)
 
     def _tournament(self, population: list[Individual], rng: np.random.Generator) -> Individual:
         first, second = rng.integers(0, len(population), size=2)

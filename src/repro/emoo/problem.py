@@ -49,5 +49,20 @@ class Problem(ABC):
         return [self.evaluate(self.random_genome(rng)) for _ in range(size)]
 
     def evaluate_genomes(self, genomes: Sequence[Any]) -> list[Individual]:
-        """Evaluate a batch of genomes."""
+        """Evaluate a batch of genomes.
+
+        The default loops over :meth:`evaluate`; problems with a vectorized
+        evaluation engine (e.g. :class:`repro.core.problem.RRMatrixProblem`)
+        override this with a true batch implementation, which is how the
+        generic SPEA2/NSGA-II engines pick up the batch path without knowing
+        anything about genome internals.
+        """
         return [self.evaluate(genome) for genome in genomes]
+
+    def repair_genomes(self, genomes: Sequence[Any], rng: np.random.Generator) -> list[Any]:
+        """Repair a batch of genomes after variation.
+
+        Like :meth:`evaluate_genomes`, the default loops over :meth:`repair`
+        and batch-capable problems override it.
+        """
+        return [self.repair(genome, rng) for genome in genomes]

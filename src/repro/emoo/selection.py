@@ -8,6 +8,10 @@ nearest-neighbour distance (ties broken on the next-nearest neighbour, and so
 on), which preserves diversity along the front.
 
 Mating selection is a binary tournament on fitness.
+
+The truncation inner loop uses ``np.sort`` + ``np.lexsort`` per removal (the
+lexicographic argmin over sorted neighbour-distance rows runs in C); the
+tournament draws and compares all pairs in one vectorized step.
 """
 
 from __future__ import annotations
@@ -46,17 +50,25 @@ def environmental_selection(
     if not union:
         raise OptimizationError("environmental selection needs a non-empty union")
     if assign_fitness:
-        assign_spea2_fitness(union, density_k)
-    non_dominated = [individual for individual in union if individual.fitness < 1.0]
-    if len(non_dominated) == archive_size:
-        return list(non_dominated)
-    if len(non_dominated) < archive_size:
-        dominated = sorted(
-            (individual for individual in union if individual.fitness >= 1.0),
-            key=lambda individual: individual.fitness,
-        )
-        needed = archive_size - len(non_dominated)
-        return list(non_dominated) + dominated[:needed]
+        fitness = assign_spea2_fitness(union, density_k)
+    else:
+        fitness = np.array([individual.fitness for individual in union])
+    non_dominated_mask = fitness < 1.0
+    n_non_dominated = int(non_dominated_mask.sum())
+    if n_non_dominated == archive_size:
+        return [union[index] for index in np.flatnonzero(non_dominated_mask)]
+    if n_non_dominated < archive_size:
+        dominated_index = np.flatnonzero(~non_dominated_mask)
+        # Stable sort on fitness keeps the original order between ties, like
+        # the Python ``sorted`` it replaces.
+        best_dominated = dominated_index[
+            np.argsort(fitness[dominated_index], kind="stable")
+        ]
+        needed = archive_size - n_non_dominated
+        chosen = [union[index] for index in np.flatnonzero(non_dominated_mask)]
+        chosen.extend(union[index] for index in best_dominated[:needed])
+        return chosen
+    non_dominated = [union[index] for index in np.flatnonzero(non_dominated_mask)]
     return truncate_archive(non_dominated, archive_size)
 
 
@@ -64,7 +76,10 @@ def truncate_archive(archive: list[Individual], target_size: int) -> list[Indivi
     """Iteratively remove the most crowded individuals until ``target_size``.
 
     At each step the individual with the lexicographically smallest vector of
-    sorted nearest-neighbour distances is removed, exactly as in SPEA2.
+    sorted nearest-neighbour distances is removed, exactly as in SPEA2.  The
+    lexicographic argmin is one ``np.lexsort`` over the sorted distance rows
+    (stable, so ties keep the lowest index — the same winner as a sequential
+    strict comparison).
     """
     check_positive_int(target_size, "target_size")
     survivors = list(archive)
@@ -72,27 +87,15 @@ def truncate_archive(archive: list[Individual], target_size: int) -> list[Indivi
         return survivors
     distances = pairwise_distances(objectives_array(survivors))
     np.fill_diagonal(distances, np.inf)
-    alive = list(range(len(survivors)))
-    while len(alive) > target_size:
+    alive = np.arange(len(survivors))
+    while alive.size > target_size:
         sub = distances[np.ix_(alive, alive)]
         sorted_rows = np.sort(sub, axis=1)
-        # Lexicographic argmin over rows of sorted neighbour distances.
-        worst_position = 0
-        for position in range(1, len(alive)):
-            if _lexicographically_smaller(sorted_rows[position], sorted_rows[worst_position]):
-                worst_position = position
-        del alive[worst_position]
+        # lexsort treats the LAST key as primary, so feed the columns
+        # (nearest first) in reverse.
+        order = np.lexsort(sorted_rows.T[::-1])
+        alive = np.delete(alive, order[0])
     return [survivors[index] for index in alive]
-
-
-def _lexicographically_smaller(first: np.ndarray, second: np.ndarray) -> bool:
-    """Whether distance vector ``first`` is lexicographically smaller."""
-    for a, b in zip(first, second):
-        if a < b:
-            return True
-        if a > b:
-            return False
-    return False
 
 
 def binary_tournament(
@@ -103,15 +106,16 @@ def binary_tournament(
     """Binary tournament selection on fitness (lower fitness wins).
 
     Returns ``n_selections`` individuals (with replacement across
-    tournaments).  Requires that fitness has been assigned.
+    tournaments).  Requires that fitness has been assigned.  All tournament
+    pairs are drawn and decided in one vectorized step.
     """
     check_positive_int(n_selections, "n_selections")
     if not pool:
         raise OptimizationError("mating selection needs a non-empty pool")
     rng = as_rng(seed)
-    selected: list[Individual] = []
-    for _ in range(n_selections):
-        first, second = rng.integers(0, len(pool), size=2)
-        winner = pool[first] if pool[first].fitness <= pool[second].fitness else pool[second]
-        selected.append(winner)
-    return selected
+    pairs = rng.integers(0, len(pool), size=(n_selections, 2))
+    fitness = np.array([individual.fitness for individual in pool])
+    winners = np.where(
+        fitness[pairs[:, 0]] <= fitness[pairs[:, 1]], pairs[:, 0], pairs[:, 1]
+    )
+    return [pool[index] for index in winners]

@@ -174,5 +174,7 @@ class SPEA2:
         for genome in genomes:
             if rng.random() < settings.mutation_rate:
                 genome = self.problem.mutate(genome, rng)
-            mutated.append(self.problem.repair(genome, rng))
-        return mutated
+            mutated.append(genome)
+        # Repair runs over the whole offspring list at once so batch-capable
+        # problems (RR matrices) vectorize it.
+        return self.problem.repair_genomes(mutated, rng)

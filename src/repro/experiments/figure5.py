@@ -12,8 +12,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.compare import compare_fronts
 from repro.analysis.report import format_front_table, format_paper_vs_measured
 from repro.data.adult import adult_attribute_distribution

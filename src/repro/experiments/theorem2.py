@@ -16,7 +16,7 @@ from repro.data.synthetic import normal_distribution
 from repro.experiments.base import ExperimentResult, ExperimentSpec
 from repro.experiments.registry import register_experiment
 from repro.metrics.evaluation import MatrixEvaluator
-from repro.rr.family import FrappFamily, UniformPerturbationFamily, WarnerFamily
+from repro.rr.family import FrappFamily, UniformPerturbationFamily
 from repro.rr.schemes import warner_equivalent_p, warner_matrix
 
 N_CATEGORIES = 10

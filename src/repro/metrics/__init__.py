@@ -10,20 +10,26 @@ from repro.metrics.privacy import (
     PrivacyReport,
     map_estimates,
     max_posterior,
+    max_posterior_batch,
     posterior_matrix,
+    posterior_tensor,
     privacy_score,
+    privacy_score_batch,
     satisfies_bound,
 )
 from repro.metrics.utility import (
     UtilityReport,
     empirical_mse,
     theoretical_mse,
+    theoretical_mse_batch,
     utility_score,
+    utility_score_batch,
 )
-from repro.metrics.evaluation import MatrixEvaluation, MatrixEvaluator
+from repro.metrics.evaluation import BatchEvaluation, MatrixEvaluation, MatrixEvaluator
 
 __all__ = [
     "AccuracyFunction",
+    "BatchEvaluation",
     "MatrixEvaluation",
     "MatrixEvaluator",
     "PrivacyReport",
@@ -34,9 +40,14 @@ __all__ = [
     "expected_accuracy",
     "map_estimates",
     "max_posterior",
+    "max_posterior_batch",
     "posterior_matrix",
+    "posterior_tensor",
     "privacy_score",
+    "privacy_score_batch",
     "satisfies_bound",
     "theoretical_mse",
+    "theoretical_mse_batch",
     "utility_score",
+    "utility_score_batch",
 ]

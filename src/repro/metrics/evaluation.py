@@ -4,6 +4,18 @@ The evolutionary optimizer evaluates thousands of candidate matrices per
 generation; :class:`MatrixEvaluator` packages the prior, the record count and
 the privacy bound so each evaluation is a single call returning the two
 objectives plus feasibility information.
+
+Two evaluation paths are provided:
+
+* :meth:`MatrixEvaluator.evaluate_batch` — the vectorized engine.  A whole
+  population enters as one ``(B, n, n)`` stack and every quantity (posterior
+  tensor, adversary accuracy, condition numbers, inverses, Theorem-6 MSE) is
+  computed with batched NumPy linear algebra.  This is the optimizer hot path.
+* :meth:`MatrixEvaluator.evaluate` — the scalar API, kept as a thin wrapper
+  that stacks a single matrix and unpacks the batch result, so both paths are
+  one implementation.  :meth:`MatrixEvaluator.evaluate_scalar` preserves the
+  original per-matrix reference implementation for equivalence tests and
+  benchmarks.
 """
 
 from __future__ import annotations
@@ -14,9 +26,16 @@ import numpy as np
 
 from repro.data.distribution import CategoricalDistribution
 from repro.exceptions import SingularMatrixError, ValidationError
-from repro.metrics.privacy import max_posterior, privacy_score
-from repro.metrics.utility import utility_score
-from repro.rr.matrix import RRMatrix
+from repro.metrics.privacy import (
+    BOUND_ATOL,
+    joint_tensor,
+    max_posterior,
+    posterior_from_joint,
+    privacy_score,
+)
+from repro.metrics.utility import utility_score, utility_score_batch
+from repro.rr.matrix import RRMatrix, as_matrix_stack
+from repro.utils.linalg import batched_safe_inverses
 from repro.utils.validation import check_in_unit_interval, check_positive_int
 
 
@@ -57,6 +76,58 @@ class MatrixEvaluation:
 
 
 @dataclass(frozen=True)
+class BatchEvaluation:
+    """Privacy/utility evaluation of a whole stack of RR matrices.
+
+    Every attribute is an array over the batch dimension ``B``; index the
+    object (or call :meth:`unpack`) to recover per-matrix
+    :class:`MatrixEvaluation` views.
+
+    Attributes
+    ----------
+    privacy:
+        ``(B,)`` privacy scores ``1 - A`` (Eq. 8); larger is better.
+    utility:
+        ``(B,)`` average closed-form MSE values (Eq. 10); ``inf`` for
+        singular matrices.
+    max_posterior:
+        ``(B,)`` worst-case posteriors (Eq. 9 left-hand side).
+    feasible:
+        ``(B,)`` boolean mask of delta-feasible, invertible matrices.
+    invertible:
+        ``(B,)`` boolean mask of numerically invertible matrices.
+    """
+
+    privacy: np.ndarray
+    utility: np.ndarray
+    max_posterior: np.ndarray
+    feasible: np.ndarray
+    invertible: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.privacy.size)
+
+    def __getitem__(self, index: int) -> MatrixEvaluation:
+        return MatrixEvaluation(
+            privacy=float(self.privacy[index]),
+            utility=float(self.utility[index]),
+            max_posterior=float(self.max_posterior[index]),
+            feasible=bool(self.feasible[index]),
+            invertible=bool(self.invertible[index]),
+        )
+
+    def unpack(self) -> list[MatrixEvaluation]:
+        """Per-matrix :class:`MatrixEvaluation` objects, in batch order."""
+        return [self[index] for index in range(len(self))]
+
+    @property
+    def objectives(self) -> np.ndarray:
+        """``(B, 2)`` objective array ``(-privacy, utility)`` (minimisation
+        convention), with ``inf`` utilities left in place."""
+        return np.stack([-self.privacy, self.utility], axis=1)
+
+
+@dataclass(frozen=True)
 class MatrixEvaluator:
     """Evaluate RR matrices against a fixed prior, sample size and bound.
 
@@ -94,8 +165,70 @@ class MatrixEvaluator:
         """Domain size of the evaluated matrices."""
         return self.prior.n_categories
 
+    def evaluate_batch(self, matrices: np.ndarray | list[RRMatrix]) -> BatchEvaluation:
+        """Evaluate a whole stack of matrices with batched linear algebra.
+
+        Parameters
+        ----------
+        matrices:
+            A ``(B, n, n)`` array of column-stochastic matrices, or a list of
+            :class:`RRMatrix` objects (stacked internally).
+
+        Returns
+        -------
+        BatchEvaluation
+            Array-valued privacy, utility, worst posterior and feasibility.
+        """
+        stack = as_matrix_stack(matrices)
+        n = self.n_categories
+        if stack.shape[1:] != (n, n):
+            raise ValidationError(
+                f"matrix stack domain {stack.shape[1:]} does not match the "
+                f"prior domain ({n}, {n})"
+            )
+        prior_vector = self.prior.probabilities
+        # One joint tensor serves both the adversary accuracy (Eq. 8) and the
+        # posterior maximum (Eq. 9).
+        joint = joint_tensor(stack, prior_vector)
+        privacy = 1.0 - joint.max(axis=2).sum(axis=1)
+        worst_posterior = posterior_from_joint(joint).max(axis=(1, 2))
+        inverses, invertible = batched_safe_inverses(stack)
+        utility = np.full(stack.shape[0], np.inf)
+        if invertible.any():
+            utility[invertible] = utility_score_batch(
+                stack[invertible], inverses[invertible], prior_vector, self.n_records
+            )
+        feasible = invertible.copy()
+        if self.delta is not None:
+            feasible &= worst_posterior <= self.delta + BOUND_ATOL
+        return BatchEvaluation(
+            privacy=privacy,
+            utility=utility,
+            max_posterior=worst_posterior,
+            feasible=feasible,
+            invertible=invertible,
+        )
+
     def evaluate(self, matrix: RRMatrix) -> MatrixEvaluation:
-        """Evaluate one matrix, returning privacy, utility and feasibility."""
+        """Evaluate one matrix, returning privacy, utility and feasibility.
+
+        Thin wrapper over :meth:`evaluate_batch` with a batch of one, so the
+        scalar and batched paths cannot drift apart.
+        """
+        if matrix.n_categories != self.n_categories:
+            raise ValidationError(
+                f"matrix domain {matrix.n_categories} does not match the prior "
+                f"domain {self.n_categories}"
+            )
+        return self.evaluate_batch(matrix.probabilities[None, :, :])[0]
+
+    def evaluate_scalar(self, matrix: RRMatrix) -> MatrixEvaluation:
+        """Reference per-matrix implementation (the pre-batch hot path).
+
+        Kept verbatim so the equivalence property tests and
+        ``benchmarks/bench_batch_eval.py`` can compare the vectorized engine
+        against the original scalar computation.
+        """
         if matrix.n_categories != self.n_categories:
             raise ValidationError(
                 f"matrix domain {matrix.n_categories} does not match the prior "
@@ -122,5 +255,7 @@ class MatrixEvaluator:
         )
 
     def evaluate_many(self, matrices: list[RRMatrix]) -> list[MatrixEvaluation]:
-        """Evaluate a batch of matrices."""
-        return [self.evaluate(matrix) for matrix in matrices]
+        """Evaluate a batch of matrices (vectorized, scalar results)."""
+        if not matrices:
+            return []
+        return self.evaluate_batch(matrices).unpack()

@@ -38,6 +38,55 @@ def _joint_matrix(matrix: RRMatrix | np.ndarray, prior: np.ndarray) -> np.ndarra
     return probabilities * prior[None, :]
 
 
+def joint_tensor(stack: np.ndarray, prior: np.ndarray) -> np.ndarray:
+    """Batched joint ``joint[b, y, x] = M_b[y, x] P(x)`` for a ``(B, n, n)``
+    stack of RR matrices (the broadcast analogue of :func:`_joint_matrix`)."""
+    prior = check_probability_vector(prior, "prior")
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.ndim != 3 or stack.shape[1:] != (prior.size, prior.size):
+        raise ValidationError(
+            f"RR matrix stack shape {stack.shape} does not match prior of "
+            f"length {prior.size} (expected (B, {prior.size}, {prior.size}))"
+        )
+    return stack * prior[None, None, :]
+
+
+def posterior_from_joint(joint: np.ndarray) -> np.ndarray:
+    """Normalise a joint array ``P(Y, X)`` into posteriors ``P(X | Y)``.
+
+    Works on a single ``(n, n)`` joint matrix or a ``(B, n, n)`` joint tensor
+    (the candidate-original axis is always last).  Rows whose report has zero
+    probability are returned as all zeros — this helper is the single home of
+    that convention for both the scalar and batched paths.
+    """
+    report_probabilities = joint.sum(axis=-1, keepdims=True)
+    safe = np.where(report_probabilities > 0, report_probabilities, 1.0)
+    return np.where(report_probabilities > 0, joint / safe, 0.0)
+
+
+def posterior_tensor(stack: np.ndarray, prior: np.ndarray) -> np.ndarray:
+    """Batched posterior ``P(X = c_x | Y = c_y)`` for every matrix in a
+    ``(B, n, n)`` stack; rows with zero report probability come back as zeros
+    (same convention as :func:`posterior_matrix`)."""
+    return posterior_from_joint(joint_tensor(stack, prior))
+
+
+def adversary_accuracy_batch(stack: np.ndarray, prior: np.ndarray) -> np.ndarray:
+    """Per-matrix adversary accuracy ``A`` (Eq. 8) for a ``(B, n, n)`` stack."""
+    joint = joint_tensor(stack, prior)
+    return joint.max(axis=2).sum(axis=1)
+
+
+def privacy_score_batch(stack: np.ndarray, prior: np.ndarray) -> np.ndarray:
+    """Per-matrix privacy ``1 - A`` (Eq. 8) for a ``(B, n, n)`` stack."""
+    return 1.0 - adversary_accuracy_batch(stack, prior)
+
+
+def max_posterior_batch(stack: np.ndarray, prior: np.ndarray) -> np.ndarray:
+    """Per-matrix worst-case posterior (Eq. 9 left-hand side) for a stack."""
+    return posterior_tensor(stack, prior).max(axis=(1, 2))
+
+
 def posterior_matrix(matrix: RRMatrix | np.ndarray, prior: np.ndarray) -> np.ndarray:
     """Posterior ``P(X = c_x | Y = c_y)`` for every (report, original) pair.
 
@@ -45,11 +94,7 @@ def posterior_matrix(matrix: RRMatrix | np.ndarray, prior: np.ndarray) -> np.nda
     value ``x``.  Rows whose report has zero probability under the prior are
     returned as all zeros (the report can never be observed).
     """
-    joint = _joint_matrix(matrix, prior)
-    report_probabilities = joint.sum(axis=1, keepdims=True)
-    safe = np.where(report_probabilities > 0, report_probabilities, 1.0)
-    posterior = np.where(report_probabilities > 0, joint / safe, 0.0)
-    return posterior
+    return posterior_from_joint(_joint_matrix(matrix, prior))
 
 
 def map_estimates(matrix: RRMatrix | np.ndarray, prior: np.ndarray) -> np.ndarray:
@@ -138,9 +183,7 @@ class PrivacyReport:
 def privacy_report(matrix: RRMatrix | np.ndarray, prior: np.ndarray) -> PrivacyReport:
     """Compute the full :class:`PrivacyReport` for ``matrix`` and ``prior``."""
     joint = _joint_matrix(matrix, prior)
-    report_probabilities = joint.sum(axis=1, keepdims=True)
-    safe = np.where(report_probabilities > 0, report_probabilities, 1.0)
-    posterior = np.where(report_probabilities > 0, joint / safe, 0.0)
+    posterior = posterior_from_joint(joint)
     accuracy = float(joint.max(axis=1).sum())
     return PrivacyReport(
         privacy=1.0 - accuracy,

@@ -69,6 +69,60 @@ def utility_score(matrix: RRMatrix, prior: np.ndarray, n_records: int) -> float:
     return float(np.mean(theoretical_mse(matrix, prior, n_records)))
 
 
+def theoretical_mse_batch(
+    stack: np.ndarray,
+    inverses: np.ndarray,
+    prior: np.ndarray,
+    n_records: int,
+) -> np.ndarray:
+    """Batched Theorem-6 closed form: per-category MSE for every matrix.
+
+    Parameters
+    ----------
+    stack:
+        ``(B, n, n)`` stack of RR matrices.
+    inverses:
+        ``(B, n, n)`` stack of their inverses (from
+        :func:`repro.utils.linalg.batched_safe_inverses`); rows for singular
+        matrices may hold garbage — callers mask them out of the result.
+    prior:
+        The original distribution ``P``.
+    n_records:
+        Number of records ``N``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(B, n)`` array of per-category MSE values.
+    """
+    prior = check_probability_vector(prior, "prior")
+    check_positive_int(n_records, "n_records")
+    stack = np.asarray(stack, dtype=np.float64)
+    inverses = np.asarray(inverses, dtype=np.float64)
+    if stack.ndim != 3 or stack.shape[1:] != (prior.size, prior.size):
+        raise ValidationError(
+            f"matrix stack shape {stack.shape} does not match prior length {prior.size}"
+        )
+    if inverses.shape != stack.shape:
+        raise ValidationError(
+            f"inverse stack shape {inverses.shape} does not match matrix stack {stack.shape}"
+        )
+    disguised = np.matmul(stack, prior[None, :, None])  # (B, n, 1): P* = M P
+    linear = np.matmul(inverses, disguised)[..., 0]
+    quadratic = np.matmul(inverses**2, disguised)[..., 0]
+    return (quadratic - linear**2) / float(n_records)
+
+
+def utility_score_batch(
+    stack: np.ndarray,
+    inverses: np.ndarray,
+    prior: np.ndarray,
+    n_records: int,
+) -> np.ndarray:
+    """Per-matrix average closed-form MSE (Eq. 10) for a ``(B, n, n)`` stack."""
+    return theoretical_mse_batch(stack, inverses, prior, n_records).mean(axis=1)
+
+
 def variance_covariance(disguised: np.ndarray, n_records: int) -> np.ndarray:
     """Multinomial covariance matrix of the empirical disguised frequencies.
 

@@ -16,7 +16,11 @@ import numpy as np
 from repro.exceptions import RRMatrixError
 from repro.types import MatrixLike, SeedLike, as_rng
 from repro.utils.linalg import condition_number, is_invertible, safe_inverse
-from repro.utils.validation import check_positive_int, check_stochastic_columns
+from repro.utils.validation import (
+    check_matrix_stack,
+    check_positive_int,
+    check_stochastic_columns,
+)
 
 
 @dataclass(frozen=True)
@@ -143,6 +147,38 @@ class RRMatrix:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RRMatrix(n={self.n_categories})"
+
+
+def stack_matrices(matrices: "list[RRMatrix] | tuple[RRMatrix, ...]") -> np.ndarray:
+    """Stack a sequence of same-domain RR matrices into a ``(B, n, n)`` array.
+
+    The batch-evaluation engine and the batched variation operators work on
+    stacked arrays; this is the boundary where ``RRMatrix`` objects enter the
+    vectorized world.
+    """
+    if not matrices:
+        raise RRMatrixError("cannot stack an empty sequence of matrices")
+    n = matrices[0].n_categories
+    for matrix in matrices:
+        if matrix.n_categories != n:
+            raise RRMatrixError(
+                f"cannot stack matrices with mixed domains ({matrix.n_categories} != {n})"
+            )
+    return np.stack([matrix.probabilities for matrix in matrices])
+
+
+def unstack_matrices(stack: np.ndarray) -> list[RRMatrix]:
+    """Turn a ``(B, n, n)`` array back into validated :class:`RRMatrix`
+    objects (the inverse of :func:`stack_matrices`)."""
+    return [RRMatrix(matrix) for matrix in check_matrix_stack(stack)]
+
+
+def as_matrix_stack(matrices: "np.ndarray | list[RRMatrix]") -> np.ndarray:
+    """Accept either a ``(B, n, n)`` array or a list of :class:`RRMatrix` and
+    return the stacked array (copying only in the list case)."""
+    if isinstance(matrices, np.ndarray):
+        return check_matrix_stack(matrices)
+    return stack_matrices(list(matrices))
 
 
 def random_rr_matrix(

@@ -2,17 +2,26 @@
 
 from repro.utils.validation import (
     check_in_unit_interval,
+    check_matrix_stack,
     check_positive_int,
     check_probability_vector,
     check_square_matrix,
     check_stochastic_columns,
     normalize_probabilities,
 )
-from repro.utils.linalg import condition_number, safe_inverse
+from repro.utils.linalg import (
+    batched_condition_numbers,
+    batched_safe_inverses,
+    condition_number,
+    safe_inverse,
+)
 from repro.utils.logging import get_logger
 
 __all__ = [
+    "batched_condition_numbers",
+    "batched_safe_inverses",
     "check_in_unit_interval",
+    "check_matrix_stack",
     "check_positive_int",
     "check_probability_vector",
     "check_square_matrix",

@@ -91,6 +91,22 @@ def normalize_probabilities(
     return array / total
 
 
+def check_matrix_stack(
+    stack: np.ndarray,
+    name: str = "stack",
+) -> np.ndarray:
+    """Validate that ``stack`` is a ``(B, n, n)`` array of square matrices
+    and return it as float64.  Shared by every batched entry point (stacked
+    operators, batched metrics, batched linear algebra) so malformed stacks
+    raise one exception type everywhere."""
+    array = np.asarray(stack, dtype=np.float64)
+    if array.ndim != 3 or array.shape[-1] != array.shape[-2]:
+        raise ValidationError(
+            f"{name} must be a (B, n, n) stack of square matrices, got shape {array.shape}"
+        )
+    return array
+
+
 def check_square_matrix(
     matrix: Sequence[Sequence[float]] | np.ndarray,
     name: str = "matrix",

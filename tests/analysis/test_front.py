@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.front import FrontPoint, ParetoFront
-from repro.core.config import OptRRConfig
 from repro.core.optimizer import OptRROptimizer
 from repro.exceptions import ValidationError
 from repro.metrics.evaluation import MatrixEvaluator

@@ -140,6 +140,30 @@ class TestEnforcePrivacyBound:
         with pytest.raises(Exception):
             enforce_privacy_bound(RRMatrix.identity(4), small_prior.probabilities, 0.0)
 
+    def test_repair_never_worsens_off_diagonal_worst_cell(self):
+        """Regression: Hypothesis falsifying example for the old repair.
+
+        Shrinking the worst cell ``theta[i, j]`` shrinks row ``i``'s
+        normaliser, which *raises* the other posteriors of report ``i``; with
+        this matrix the old single-trajectory repair ended in a state whose
+        worst posterior exceeded the input's.  The repair must return the best
+        state visited, so the worst-case posterior never increases.
+        """
+        prior = np.array([0.25, 0.25, 0.25, 0.25])
+        values = np.array(
+            [
+                [0.25, 0.25, 0.88888889, 0.96385542],
+                [0.25, 0.25, 0.03703704, 0.01204819],
+                [0.25, 0.25, 0.03703704, 0.01204819],
+                [0.25, 0.25, 0.03703704, 0.01204819],
+            ]
+        )
+        matrix = RRMatrix(values / values.sum(axis=0, keepdims=True))
+        delta = min(0.999, prior.max() + 0.125)
+        repaired = enforce_privacy_bound(matrix, prior, delta)
+        assert_is_rr_matrix(repaired)
+        assert max_posterior(repaired, prior) <= max_posterior(matrix, prior) + 1e-9
+
 
 class TestRandomInitialMatrices:
     def test_count_and_validity(self, rng):

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data.synthetic import gamma_distribution, uniform_distribution
+from repro.data.synthetic import gamma_distribution
 from repro.exceptions import EstimationError
 from repro.rr.estimation import (
     InversionEstimator,

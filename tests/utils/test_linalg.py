@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro.exceptions import SingularMatrixError
-from repro.utils.linalg import condition_number, is_invertible, safe_inverse
+from repro.exceptions import ValidationError
+from repro.utils.linalg import (
+    batched_condition_numbers,
+    batched_safe_inverses,
+    condition_number,
+    is_invertible,
+    safe_inverse,
+)
 
 
 class TestConditionNumber:
@@ -43,3 +50,60 @@ class TestSafeInverse:
     def test_raises_on_singular(self):
         with pytest.raises(SingularMatrixError):
             safe_inverse(np.ones((3, 3)))
+
+
+class TestBatchedConditionNumbers:
+    def test_matches_scalar_per_matrix(self):
+        rng = np.random.default_rng(0)
+        stack = rng.dirichlet(np.ones(5), size=(6, 5)).transpose(0, 2, 1)
+        batched = batched_condition_numbers(stack)
+        for index in range(stack.shape[0]):
+            assert batched[index] == pytest.approx(condition_number(stack[index]))
+
+    def test_singular_member_gets_inf(self):
+        stack = np.stack([np.eye(3), np.ones((3, 3)) / 3.0])
+        batched = batched_condition_numbers(stack)
+        assert batched[0] == pytest.approx(1.0)
+        assert batched[1] > 1e12 or np.isinf(batched[1])
+
+    def test_empty_stack(self):
+        assert batched_condition_numbers(np.empty((0, 3, 3))).size == 0
+
+    def test_rejects_non_stack(self):
+        with pytest.raises(ValidationError):
+            batched_condition_numbers(np.eye(3))
+
+
+class TestBatchedSafeInverses:
+    def test_round_trip_for_invertible_members(self):
+        rng = np.random.default_rng(1)
+        stack = rng.dirichlet(np.ones(4) * 3, size=(5, 4)).transpose(0, 2, 1)
+        inverses, invertible = batched_safe_inverses(stack)
+        assert invertible.all()
+        for index in range(stack.shape[0]):
+            np.testing.assert_allclose(
+                stack[index] @ inverses[index], np.eye(4), atol=1e-9
+            )
+
+    def test_singular_members_are_masked_with_zero_rows(self):
+        stack = np.stack([np.eye(3), np.ones((3, 3)) / 3.0, np.eye(3)])
+        inverses, invertible = batched_safe_inverses(stack)
+        np.testing.assert_array_equal(invertible, [True, False, True])
+        np.testing.assert_array_equal(inverses[1], np.zeros((3, 3)))
+
+    def test_classification_matches_is_invertible(self):
+        rng = np.random.default_rng(2)
+        matrices = [rng.dirichlet(np.ones(4), size=4).T for _ in range(8)]
+        matrices.append(np.full((4, 4), 0.25))
+        duplicated = rng.dirichlet(np.ones(4), size=4).T
+        duplicated[:, 1] = duplicated[:, 0]
+        matrices.append(duplicated)
+        stack = np.stack(matrices)
+        _, invertible = batched_safe_inverses(stack)
+        for index in range(stack.shape[0]):
+            assert invertible[index] == is_invertible(stack[index])
+
+    def test_empty_stack(self):
+        inverses, invertible = batched_safe_inverses(np.empty((0, 2, 2)))
+        assert inverses.shape == (0, 2, 2)
+        assert invertible.size == 0
