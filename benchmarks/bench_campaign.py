@@ -1,0 +1,142 @@
+"""Benchmark: campaign scaling across worker processes and cache replay.
+
+The campaign orchestrator runs a grid of ``experiments x seeds`` through a
+process pool.  The tasks are independent CPU-bound optimizations, so on a
+multi-core host the campaign must scale: this benchmark times the same cold
+campaign serially and with ``--jobs 4`` and asserts the wall-clock speedup
+bar (>= 2x at 4 workers by default).  On hosts with fewer cores the speedup
+assertion is skipped — a process pool cannot beat physics — but the
+determinism guarantee (byte-identical aggregates) is asserted everywhere,
+as is the cache-replay speedup, which does not depend on core count.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_campaign.py -q -s
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.experiments.campaign import plan_campaign, run_campaign
+
+#: The campaign workload: two front-comparison experiments, four seeds each.
+EXPERIMENTS = ("fig4a", "fig5a")
+N_SEEDS = 4
+BUDGET = {"n_generations": 60, "population_size": 24}
+N_JOBS = 4
+
+#: Required parallel speedup at 4 workers on a >= 4-core host.  CI and
+#: laptops with fewer usable cores scale the bar down automatically (a pool
+#: of 4 workers on 2 cores can at best approach 2x).
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def measure_campaign_scaling() -> dict:
+    """Time a cold serial campaign against a cold 4-worker campaign."""
+    spec = plan_campaign(EXPERIMENTS, range(N_SEEDS), BUDGET)
+
+    start = time.perf_counter()
+    serial = run_campaign(spec, n_jobs=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_campaign(spec, n_jobs=N_JOBS)
+    parallel_seconds = time.perf_counter() - start
+
+    # The speedup claim is meaningless unless both runs agree byte-for-byte.
+    assert parallel.aggregate_json() == serial.aggregate_json()
+    return {
+        "n_tasks": len(spec.tasks()),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+    }
+
+
+def measure_cache_replay() -> dict:
+    """Time a cold campaign against a fully-cached replay."""
+    spec = plan_campaign(EXPERIMENTS, range(N_SEEDS), BUDGET)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        start = time.perf_counter()
+        cold = run_campaign(spec, n_jobs=1, cache_dir=cache_dir)
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = run_campaign(spec, n_jobs=1, cache_dir=cache_dir)
+        warm_seconds = time.perf_counter() - start
+
+    assert warm.n_cache_hits == len(spec.tasks())
+    assert warm.aggregate_json() == cold.aggregate_json()
+    return {
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds,
+    }
+
+
+def test_campaign_parallel_speedup():
+    """A cold 4-worker campaign must beat the serial run >= 2x on >= 4 usable
+    cores (bar scaled down for smaller hosts, skipped on single-core ones)."""
+    cores = _usable_cores()
+    if cores < 2:
+        # Skip before the minutes-scale measurement, not after.
+        pytest.skip(f"host exposes {cores} usable core(s); parallel speedup not measurable")
+    result = measure_campaign_scaling()
+    print(
+        f"\ncampaign scaling ({len(EXPERIMENTS)} experiments x {N_SEEDS} seeds = "
+        f"{result['n_tasks']} tasks): serial {result['serial_seconds']:.2f} s, "
+        f"{N_JOBS} workers {result['parallel_seconds']:.2f} s, "
+        f"speedup {result['speedup']:.2f}x"
+    )
+    required = MIN_SPEEDUP * min(1.0, (cores / float(N_JOBS)))
+    assert result["speedup"] >= required, (
+        f"campaign speedup {result['speedup']:.2f}x at {N_JOBS} workers on "
+        f"{cores} cores is below the required {required:.2f}x"
+    )
+
+
+def test_campaign_cache_replay_speedup():
+    """A fully-cached replay must be at least 5x faster than the cold run
+    (it does no optimization work at all, only JSON loads)."""
+    result = measure_cache_replay()
+    print(
+        f"\ncampaign cache replay: cold {result['cold_seconds']:.2f} s, "
+        f"warm {result['warm_seconds']:.2f} s, speedup {result['speedup']:.1f}x"
+    )
+    assert result["speedup"] >= 5.0
+
+
+def main() -> None:
+    scaling = measure_campaign_scaling()
+    print(
+        f"campaign scaling   tasks={scaling['n_tasks']}  "
+        f"serial={scaling['serial_seconds']:6.2f} s  "
+        f"jobs={N_JOBS}: {scaling['parallel_seconds']:6.2f} s  "
+        f"speedup={scaling['speedup']:5.2f}x  "
+        f"(usable cores: {_usable_cores()})"
+    )
+    replay = measure_cache_replay()
+    print(
+        f"campaign cache     cold={replay['cold_seconds']:6.2f} s  "
+        f"warm={replay['warm_seconds']:6.2f} s  speedup={replay['speedup']:5.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

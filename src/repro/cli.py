@@ -4,17 +4,24 @@ Usage examples::
 
     optrr list
     optrr run fig4a --generations 200 --seed 1
+    optrr campaign 'fig4*' thm2 --seeds 8 --jobs 4 --cache-dir .campaign-cache
     optrr optimize --distribution gamma --categories 10 --records 10000 --delta 0.75
     optrr compare-schemes --distribution normal --categories 10
     optrr search-space --categories 10 --grid 100
+
+Exit codes: ``0`` success, ``1`` a paper claim diverged (``run``), ``2`` a
+usage error (unknown experiment, conflicting ``--categories``, rejected
+override, ...) reported on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.aggregate import format_aggregate_table
 from repro.analysis.front import ParetoFront
 from repro.analysis.plot import ascii_scatter
 from repro.analysis.report import format_front_table
@@ -22,11 +29,17 @@ from repro.core.config import OptRRConfig
 from repro.core.optimizer import OptRROptimizer
 from repro.core.search_space import log10_rr_matrix_combinations
 from repro.data.adult import adult_attribute_distribution, adult_attribute_names
+from repro.data.distribution import CategoricalDistribution
 from repro.data.synthetic import make_distribution
+from repro.exceptions import DataError, ExperimentError
+from repro.experiments.campaign import CampaignCache, plan_campaign, run_campaign
 from repro.experiments.registry import available_experiments, get_experiment
 from repro.experiments.runner import run_experiment
 from repro.rr.family import scheme_family, family_names
 from repro.metrics.evaluation import MatrixEvaluator
+
+#: Default domain size for the synthetic priors when --categories is omitted.
+DEFAULT_CATEGORIES = 10
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,10 +58,38 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--population", type=int, default=None)
     run_parser.add_argument("--plot", action="store_true", help="render an ASCII front plot")
 
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="run a multi-seed campaign over a grid of experiments",
+    )
+    campaign_parser.add_argument(
+        "experiments", nargs="+",
+        help="experiment ids or globs (e.g. fig4a 'fig5*')",
+    )
+    campaign_parser.add_argument(
+        "--seeds", type=int, default=4, help="number of seeds per experiment (0..N-1)"
+    )
+    campaign_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    campaign_parser.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed result cache directory (omit to disable caching)",
+    )
+    campaign_parser.add_argument("--generations", type=int, default=None)
+    campaign_parser.add_argument("--population", type=int, default=None)
+    campaign_parser.add_argument(
+        "--output", default=None, help="write the aggregate JSON document to this path"
+    )
+
     optimize_parser = subparsers.add_parser("optimize", help="optimize RR matrices for a workload")
     optimize_parser.add_argument("--distribution", default="normal",
                                  help="normal, gamma, uniform, zipf, geometric, or adult:<attribute>")
-    optimize_parser.add_argument("--categories", type=int, default=10)
+    optimize_parser.add_argument(
+        "--categories", type=int, default=None,
+        help=f"domain size for synthetic priors (default {DEFAULT_CATEGORIES}); "
+             "derived from the data for adult:<attribute>",
+    )
     optimize_parser.add_argument("--records", type=int, default=10_000)
     optimize_parser.add_argument("--delta", type=float, default=None)
     optimize_parser.add_argument("--generations", type=int, default=200)
@@ -60,23 +101,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "compare-schemes", help="compare the classic scheme families on a workload"
     )
     compare_parser.add_argument("--distribution", default="normal")
-    compare_parser.add_argument("--categories", type=int, default=10)
+    compare_parser.add_argument(
+        "--categories", type=int, default=None,
+        help=f"domain size for synthetic priors (default {DEFAULT_CATEGORIES}); "
+             "derived from the data for adult:<attribute>",
+    )
     compare_parser.add_argument("--records", type=int, default=10_000)
     compare_parser.add_argument("--delta", type=float, default=None)
 
     space_parser = subparsers.add_parser("search-space", help="print the Fact 1 search-space size")
-    space_parser.add_argument("--categories", type=int, default=10)
+    space_parser.add_argument("--categories", type=int, default=DEFAULT_CATEGORIES)
     space_parser.add_argument("--grid", type=int, default=100)
 
     return parser
 
 
-def _resolve_distribution(name: str, n_categories: int):
-    if name.startswith("adult:"):
-        return adult_attribute_distribution(name.split(":", 1)[1])
-    if name == "adult":
-        return adult_attribute_distribution(adult_attribute_names()[0])
-    return make_distribution(name, n_categories)
+def _fail(message: str) -> int:
+    """Report a usage error on stderr and return the usage-error exit code."""
+    print(f"optrr: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _resolve_distribution(name: str, n_categories: int | None) -> CategoricalDistribution:
+    """Resolve a --distribution argument into a prior.
+
+    For ``adult:<attribute>`` the category count is a property of the data;
+    it is derived from the resolved distribution, and an explicit
+    ``--categories`` that contradicts it raises :class:`DataError` instead of
+    being silently ignored.
+    """
+    if name == "adult" or name.startswith("adult:"):
+        attribute = name.split(":", 1)[1] if ":" in name else adult_attribute_names()[0]
+        distribution = adult_attribute_distribution(attribute)
+        if n_categories is not None and n_categories != distribution.n_categories:
+            raise DataError(
+                f"--categories {n_categories} conflicts with adult attribute "
+                f"{attribute!r}, which has {distribution.n_categories} categories; "
+                "omit --categories to derive it from the data"
+            )
+        return distribution
+    return make_distribution(name, n_categories if n_categories is not None else DEFAULT_CATEGORIES)
 
 
 def _command_list() -> int:
@@ -93,7 +157,10 @@ def _command_run(args: argparse.Namespace) -> int:
         overrides["n_generations"] = args.generations
     if args.population is not None:
         overrides["population_size"] = args.population
-    result = run_experiment(args.experiment, seed=args.seed, **overrides)
+    try:
+        result = run_experiment(args.experiment, seed=args.seed, **overrides)
+    except ExperimentError as exc:
+        return _fail(str(exc))
     print(result.summary_text())
     if args.plot and result.fronts:
         fronts = [front for front in result.fronts.values() if not front.is_empty]
@@ -102,8 +169,54 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0 if result.reproduced else 1
 
 
+def _command_campaign(args: argparse.Namespace) -> int:
+    if args.seeds < 1:
+        return _fail("--seeds must be at least 1")
+    if args.jobs < 1:
+        return _fail("--jobs must be at least 1")
+    overrides = {}
+    if args.generations is not None:
+        overrides["n_generations"] = args.generations
+    if args.population is not None:
+        overrides["population_size"] = args.population
+    try:
+        spec = plan_campaign(args.experiments, range(args.seeds), overrides or None)
+    except ExperimentError as exc:
+        return _fail(str(exc))
+    # The plan is valid; now fail on bad destinations, still before the
+    # (potentially long) grid runs.
+    output_path = Path(args.output) if args.output is not None else None
+    if output_path is not None:
+        if not output_path.parent.is_dir():
+            return _fail(f"--output directory {str(output_path.parent)!r} does not exist")
+        if output_path.is_dir():
+            return _fail(f"--output {args.output!r} is an existing directory")
+    if args.cache_dir is not None:
+        try:
+            CampaignCache(args.cache_dir)
+        except OSError as exc:
+            return _fail(f"--cache-dir {args.cache_dir!r} is unusable: {exc}")
+    result = run_campaign(spec, n_jobs=args.jobs, cache_dir=args.cache_dir)
+    print(
+        f"campaign: {len(spec.experiments)} experiment(s) x {len(spec.seeds)} seed(s) "
+        f"= {len(result.records)} run(s), {result.n_cache_hits} from cache, "
+        f"{args.jobs} worker(s)"
+    )
+    print(format_aggregate_table(result.aggregates))
+    if output_path is not None:
+        try:
+            output_path.write_text(result.aggregate_json() + "\n", encoding="utf-8")
+        except OSError as exc:
+            return _fail(f"could not write --output: {exc}")
+        print(f"aggregate written to {args.output}")
+    return 0
+
+
 def _command_optimize(args: argparse.Namespace) -> int:
-    prior = _resolve_distribution(args.distribution, args.categories)
+    try:
+        prior = _resolve_distribution(args.distribution, args.categories)
+    except DataError as exc:
+        return _fail(str(exc))
     config = OptRRConfig(
         population_size=args.population,
         archive_size=args.population,
@@ -123,7 +236,10 @@ def _command_optimize(args: argparse.Namespace) -> int:
 
 
 def _command_compare_schemes(args: argparse.Namespace) -> int:
-    prior = _resolve_distribution(args.distribution, args.categories)
+    try:
+        prior = _resolve_distribution(args.distribution, args.categories)
+    except DataError as exc:
+        return _fail(str(exc))
     evaluator = MatrixEvaluator(prior, args.records, args.delta)
     for name in family_names():
         family = scheme_family(name, prior.n_categories)
@@ -150,6 +266,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "campaign":
+        return _command_campaign(args)
     if args.command == "optimize":
         return _command_optimize(args)
     if args.command == "compare-schemes":

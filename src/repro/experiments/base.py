@@ -14,6 +14,26 @@ from typing import Callable, Mapping
 
 from repro.analysis.compare import FrontComparison
 from repro.analysis.front import ParetoFront
+from repro.exceptions import ExperimentError
+
+#: Override keys accepted by the front-comparison experiments (the common
+#: case); specs with a different workload declare their own tuple.
+DEFAULT_ACCEPTED_OVERRIDES = ("n_generations", "population_size")
+
+
+def environment_override_defaults() -> dict[str, object]:
+    """Current values of every override key whose runner-level default comes
+    from the environment.
+
+    This is the single registry the campaign planner uses to materialize
+    unset budget overrides into its cache keys — add any new
+    environment-defaulted override key here so cached campaign results can
+    never be replayed across a changed environment.
+    """
+    return {
+        "n_generations": default_generations(),
+        "population_size": default_population(),
+    }
 
 #: Environment variable that overrides the number of optimizer generations in
 #: every experiment (the paper runs 20 000; CI and benchmarks use far fewer).
@@ -64,6 +84,11 @@ class ExperimentSpec:
     runner:
         Callable executing the experiment; receives a seed and keyword
         overrides and returns an :class:`ExperimentResult`.
+    accepted_overrides:
+        Override keys the runner understands.  :meth:`run` validates against
+        this tuple instead of forwarding blindly, so an unsupported override
+        raises a clear :class:`~repro.exceptions.ExperimentError` rather than
+        a raw ``TypeError`` from deep inside the runner.
     """
 
     experiment_id: str
@@ -72,9 +97,32 @@ class ExperimentSpec:
     paper_claim: str
     parameters: Mapping[str, object]
     runner: Callable[..., "ExperimentResult"] = field(repr=False)
+    accepted_overrides: tuple[str, ...] = DEFAULT_ACCEPTED_OVERRIDES
+
+    def validate_overrides(self, overrides: Mapping[str, object]) -> None:
+        """Raise :class:`ExperimentError` when an override key is unknown."""
+        unknown = sorted(set(overrides) - set(self.accepted_overrides))
+        if unknown:
+            accepted = ", ".join(repr(key) for key in self.accepted_overrides) or "(none)"
+            raise ExperimentError(
+                f"experiment {self.experiment_id!r} does not accept override(s) "
+                f"{', '.join(repr(key) for key in unknown)}; accepted keys: {accepted}"
+            )
+
+    def filter_overrides(self, overrides: Mapping[str, object]) -> dict[str, object]:
+        """The subset of ``overrides`` this experiment accepts.
+
+        Used by the campaign runner, where one global override set is applied
+        to a heterogeneous grid of experiments: each experiment receives (and
+        is cached under) exactly the overrides it understands.
+        """
+        return {
+            key: value for key, value in overrides.items() if key in self.accepted_overrides
+        }
 
     def run(self, *, seed: int = 0, **overrides) -> "ExperimentResult":
-        """Execute the experiment."""
+        """Execute the experiment after validating the overrides."""
+        self.validate_overrides(overrides)
         return self.runner(seed=seed, **overrides)
 
 

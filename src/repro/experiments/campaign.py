@@ -1,0 +1,395 @@
+"""Parallel multi-seed experiment campaigns.
+
+The paper's claims are statements about *distributions over seeds*; a single
+``(experiment, seed)`` run proves nothing about them.  This module runs a
+whole grid of ``experiments x seeds`` — optionally across a
+:class:`~concurrent.futures.ProcessPoolExecutor` — and aggregates the
+per-seed results into the cross-seed statistics the claims are actually
+about (:mod:`repro.analysis.aggregate`).
+
+Design invariants
+-----------------
+* **Determinism.** A campaign is fully described by its
+  :class:`CampaignSpec`.  Results are collected by grid position (never by
+  completion order), workers ship results as the canonical
+  ``experiment_result`` JSON document (:mod:`repro.io`), and aggregation is
+  pure — so the same spec yields byte-identical aggregate documents whether
+  it ran serially, on eight workers, or entirely from cache.
+* **Content-addressed caching.**  Every task is keyed by the SHA-256 of
+  ``(package version, experiment id, effective overrides, seed)``.  A cache
+  hit replays the stored document; a miss runs the experiment and stores it.
+  Changing any input — including upgrading the library — changes the key, so
+  stale results can never be replayed.
+* **Per-experiment overrides.**  One global override set is applied to a
+  heterogeneous grid by restricting it to each spec's ``accepted_overrides``
+  (:meth:`~repro.experiments.base.ExperimentSpec.filter_overrides`); the
+  cache key uses the restricted set, so ``thm2`` cached with and without an
+  irrelevant ``n_generations=50`` is the same entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+import repro
+from repro.analysis.aggregate import (
+    ExperimentAggregate,
+    aggregate_campaign_runs,
+    aggregate_to_document,
+)
+from repro.exceptions import ExperimentError, ReproError
+from repro.experiments.base import ExperimentResult, environment_override_defaults
+from repro.experiments.registry import find_experiments, get_experiment
+from repro.io import (
+    dump_canonical_json,
+    experiment_result_from_dict,
+    experiment_result_to_dict,
+)
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+#: Cache-key prefix; bump when the key derivation itself changes.
+CACHE_KEY_SCHEMA = "campaign-task-v1"
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One cell of the campaign grid: an experiment, a seed and the effective
+    (spec-filtered) overrides, stored as sorted items so the task is hashable
+    and its cache key is canonical."""
+
+    experiment_id: str
+    seed: int
+    overrides: tuple[tuple[str, Any], ...] = ()
+
+    def cache_key(self) -> str:
+        """Content-addressed key of this task (includes the package version)."""
+        payload = json.dumps(
+            {
+                "schema": CACHE_KEY_SCHEMA,
+                "version": repro.__version__,
+                "experiment_id": self.experiment_id,
+                "seed": self.seed,
+                "overrides": list(self.overrides),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Static description of a campaign: which experiments, which seeds,
+    which overrides.
+
+    Build one with :func:`plan_campaign` (which resolves globs and filters
+    overrides) rather than by hand.
+    """
+
+    experiments: tuple[str, ...]
+    seeds: tuple[int, ...]
+    overrides: tuple[tuple[str, Any], ...] = ()
+
+    def tasks(self) -> tuple[CampaignTask, ...]:
+        """The grid in canonical order: experiments outer, seeds inner."""
+        global_overrides = dict(self.overrides)
+        tasks = []
+        for experiment_id in self.experiments:
+            spec = get_experiment(experiment_id)
+            effective = spec.filter_overrides(global_overrides)
+            items = tuple(sorted(effective.items()))
+            for seed in self.seeds:
+                tasks.append(CampaignTask(experiment_id, int(seed), items))
+        return tuple(tasks)
+
+
+def plan_campaign(
+    patterns: Sequence[str],
+    seeds: Sequence[int],
+    overrides: Mapping[str, Any] | None = None,
+) -> CampaignSpec:
+    """Resolve experiment globs and build the campaign specification.
+
+    Budget overrides some experiment accepts but the caller left unset are
+    materialized here from the environment-aware defaults
+    (``REPRO_GENERATIONS``/``REPRO_POPULATION``): the returned spec fully
+    describes the campaign — re-running the same spec object is unaffected
+    by later environment changes — and every cache key records the budget a
+    task actually ran under, so an environment change can never replay
+    results computed under another budget.
+    """
+    experiments = find_experiments(patterns)
+    if not seeds:
+        raise ExperimentError("a campaign needs at least one seed")
+    merged = dict(overrides or {})
+    unknown = [
+        key
+        for key in sorted(merged)
+        if not any(
+            key in get_experiment(experiment_id).accepted_overrides
+            for experiment_id in experiments
+        )
+    ]
+    if unknown:
+        raise ExperimentError(
+            f"override(s) {', '.join(map(repr, unknown))} are not accepted by any "
+            f"experiment in the campaign {list(experiments)}"
+        )
+    accepted_anywhere = {
+        key
+        for experiment_id in experiments
+        for key in get_experiment(experiment_id).accepted_overrides
+    }
+    for key, value in environment_override_defaults().items():
+        if key in accepted_anywhere:
+            merged.setdefault(key, value)
+    return CampaignSpec(
+        experiments=experiments,
+        seeds=tuple(int(seed) for seed in seeds),
+        overrides=tuple(sorted(merged.items())),
+    )
+
+
+class CampaignCache:
+    """Content-addressed on-disk store of ``experiment_result`` documents.
+
+    One JSON file per task, named by the task's cache key.  Writes go through
+    a temporary file plus :func:`os.replace` so concurrent campaigns sharing
+    a cache directory never observe partial documents.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, task: CampaignTask) -> Path:
+        """Where ``task``'s result document lives (whether or not it exists)."""
+        return self.directory / f"{task.cache_key()}.json"
+
+    def load_result(self, task: CampaignTask) -> ExperimentResult | None:
+        """Return the cached result for ``task``, or None on a miss.
+
+        Unreadable, mistyped or structurally invalid entries count as misses
+        (the task simply re-runs and overwrites them) — a result is only
+        returned if the entry deserializes into a full experiment result,
+        which happens exactly once per hit.
+        """
+        path = self.path_for(task)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(document, dict) or document.get("type") != "experiment_result":
+            return None
+        try:
+            return experiment_result_from_dict(document)
+        except (ReproError, KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, task: CampaignTask, document: dict[str, Any]) -> Path:
+        """Atomically write ``task``'s result document and return its path."""
+        path = self.path_for(task)
+        descriptor, temporary = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(dump_canonical_json(document))
+            os.replace(temporary, path)
+        except BaseException:
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+@dataclass(frozen=True)
+class CampaignRunRecord:
+    """One executed grid cell: the task, its result and where it came from."""
+
+    task: CampaignTask
+    result: ExperimentResult
+    from_cache: bool
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of a whole campaign.
+
+    Attributes
+    ----------
+    spec:
+        The campaign specification that was run.
+    records:
+        Per-task records in canonical grid order (experiments outer, seeds
+        inner) — independent of completion order.
+    aggregates:
+        Cross-seed :class:`ExperimentAggregate` per experiment, in grid
+        order.
+    """
+
+    spec: CampaignSpec
+    records: tuple[CampaignRunRecord, ...]
+    aggregates: Mapping[str, ExperimentAggregate]
+
+    @property
+    def n_cache_hits(self) -> int:
+        """How many tasks were replayed from the cache."""
+        return sum(1 for record in self.records if record.from_cache)
+
+    def aggregate_document(self) -> dict[str, Any]:
+        """The aggregates as a JSON-compatible ``campaign_aggregate``
+        document (byte-identical across worker counts and cache states)."""
+        return aggregate_to_document(self.aggregates)
+
+    def aggregate_json(self) -> str:
+        """Canonical JSON text of :meth:`aggregate_document`."""
+        return dump_canonical_json(self.aggregate_document())
+
+
+def _execute_task(payload: tuple[str, int, tuple[tuple[str, Any], ...]]) -> dict[str, Any]:
+    """Process-pool entry point: run one task, return its result document.
+
+    Must stay a module-level function (pickled by reference) and must return
+    plain JSON-compatible data — shipping the canonical document rather than
+    live objects keeps fresh and cached results bit-for-bit interchangeable.
+    """
+    import repro.experiments  # noqa: F401  (registry side effects in spawn workers)
+    from repro.experiments.runner import run_experiment
+
+    experiment_id, seed, override_items = payload
+    result = run_experiment(experiment_id, seed=seed, **dict(override_items))
+    return experiment_result_to_dict(result)
+
+
+def run_campaign(
+    patterns_or_spec: Sequence[str] | CampaignSpec,
+    *,
+    seeds: Sequence[int] | None = None,
+    overrides: Mapping[str, Any] | None = None,
+    n_jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    on_task_done: Callable[[CampaignTask, bool], None] | None = None,
+) -> CampaignResult:
+    """Run a campaign grid, in parallel when ``n_jobs > 1``.
+
+    Parameters
+    ----------
+    patterns_or_spec:
+        Either experiment id patterns (globs allowed) — in which case
+        ``seeds`` is required — or a ready :class:`CampaignSpec`.
+    seeds:
+        Seeds to run each experiment under.  Must be None when a spec is
+        given (a spec already carries its seeds); combining them raises
+        :class:`ExperimentError`.
+    overrides:
+        Global overrides, restricted per experiment to its accepted keys.
+        Like ``seeds``, must be None when a spec is given.
+    n_jobs:
+        Worker processes; ``1`` runs everything in this process.
+    cache_dir:
+        Directory of the content-addressed result cache; ``None`` disables
+        caching.
+    on_task_done:
+        Optional progress callback invoked as ``(task, from_cache)`` when
+        each task finishes (completion order).
+
+    Returns
+    -------
+    CampaignResult
+        Records in canonical grid order plus cross-seed aggregates.
+    """
+    if isinstance(patterns_or_spec, CampaignSpec):
+        if seeds is not None or overrides is not None:
+            raise ExperimentError(
+                "seeds and overrides are part of the CampaignSpec; pass them to "
+                "plan_campaign instead of run_campaign"
+            )
+        spec = patterns_or_spec
+    else:
+        if seeds is None:
+            raise ExperimentError("seeds are required when patterns are given")
+        spec = plan_campaign(patterns_or_spec, seeds, overrides)
+    tasks = spec.tasks()
+    cache = CampaignCache(cache_dir) if cache_dir is not None else None
+
+    results: dict[int, ExperimentResult] = {}
+    from_cache: dict[int, bool] = {}
+    pending: list[int] = []
+    for index, task in enumerate(tasks):
+        cached = cache.load_result(task) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+            from_cache[index] = True
+            if on_task_done is not None:
+                on_task_done(task, True)
+        else:
+            pending.append(index)
+
+    if pending:
+        logger.info(
+            "campaign: running %d/%d tasks (%d cache hits) on %d worker(s)",
+            len(pending), len(tasks), len(tasks) - len(pending), max(1, n_jobs),
+        )
+    if n_jobs <= 1 or len(pending) <= 1:
+        for index in pending:
+            _finish_task(tasks, index, _execute_task(_payload(tasks[index])),
+                         results, from_cache, cache, on_task_done)
+    else:
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(pending))) as executor:
+            futures = {
+                executor.submit(_execute_task, _payload(tasks[index])): index
+                for index in pending
+            }
+            try:
+                for future in as_completed(futures):
+                    _finish_task(tasks, futures[future], future.result(),
+                                 results, from_cache, cache, on_task_done)
+            except BaseException:
+                # Fail fast: without this, the executor shutdown would run
+                # every still-queued task to completion before re-raising.
+                for queued in futures:
+                    queued.cancel()
+                raise
+
+    records = tuple(
+        CampaignRunRecord(task=task, result=results[index], from_cache=from_cache[index])
+        for index, task in enumerate(tasks)
+    )
+    aggregates = aggregate_campaign_runs(
+        [(record.task.experiment_id, record.task.seed, record.result) for record in records]
+    )
+    return CampaignResult(spec=spec, records=records, aggregates=aggregates)
+
+
+def _payload(task: CampaignTask) -> tuple[str, int, tuple[tuple[str, Any], ...]]:
+    return (task.experiment_id, task.seed, task.overrides)
+
+
+def _finish_task(
+    tasks: tuple[CampaignTask, ...],
+    index: int,
+    document: dict[str, Any],
+    results: dict[int, ExperimentResult],
+    from_cache: dict[int, bool],
+    cache: CampaignCache | None,
+    on_task_done: Callable[[CampaignTask, bool], None] | None,
+) -> None:
+    # Freshly-computed results also pass through the canonical document, so a
+    # later cache replay is bit-for-bit the same data as this run.
+    results[index] = experiment_result_from_dict(document)
+    from_cache[index] = False
+    if cache is not None:
+        cache.store(tasks[index], document)
+    if on_task_done is not None:
+        on_task_done(tasks[index], False)

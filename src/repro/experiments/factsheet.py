@@ -19,7 +19,7 @@ from repro.experiments.registry import register_experiment
 PAPER_COUNT_LOG10 = math.log10(1.98) + 126
 
 
-def run_fact1(*, seed: int = 0, n_categories: int = 10, d: int = 100, **_unused) -> ExperimentResult:
+def run_fact1(*, seed: int = 0, n_categories: int = 10, d: int = 100) -> ExperimentResult:
     """Recompute the search-space size and compare against the paper's figure."""
     log10_count = log10_rr_matrix_combinations(n_categories, d)
     # Reproduced when our count matches the paper's 1.98e126 within 1% in log
@@ -56,5 +56,6 @@ register_experiment(
         paper_claim="n=10, d=100 gives about 1.98e126 candidate matrices",
         parameters={"n_categories": 10, "d": 100},
         runner=run_fact1,
+        accepted_overrides=("n_categories", "d"),
     )
 )

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import fnmatch
+from typing import Iterable
+
 from repro.exceptions import ExperimentError
 from repro.experiments.base import ExperimentSpec
 
@@ -29,3 +32,25 @@ def get_experiment(experiment_id: str) -> ExperimentSpec:
 def available_experiments() -> tuple[str, ...]:
     """Ids of all registered experiments, sorted."""
     return tuple(sorted(_REGISTRY))
+
+
+def find_experiments(patterns: Iterable[str]) -> tuple[str, ...]:
+    """Resolve experiment ids and shell-style globs (``fig4*``) against the
+    registry.
+
+    Matches are returned sorted per pattern, de-duplicated across patterns
+    with the first occurrence winning, so the same pattern list always yields
+    the same experiment order (the campaign grid depends on this).  A pattern
+    matching nothing raises :class:`ExperimentError`.
+    """
+    resolved: list[str] = []
+    for pattern in patterns:
+        matches = sorted(fnmatch.filter(_REGISTRY, pattern))
+        if not matches:
+            raise ExperimentError(
+                f"pattern {pattern!r} matches no experiment; available: {sorted(_REGISTRY)}"
+            )
+        for experiment_id in matches:
+            if experiment_id not in resolved:
+                resolved.append(experiment_id)
+    return tuple(resolved)

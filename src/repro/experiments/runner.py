@@ -12,13 +12,15 @@ logger = get_logger(__name__)
 def run_experiment(experiment_id: str, *, seed: int = 0, **overrides) -> ExperimentResult:
     """Run the experiment registered under ``experiment_id``.
 
-    Keyword overrides are forwarded to the experiment runner; the front
+    Keyword overrides are validated against the spec's ``accepted_overrides``
+    (an unknown key raises :class:`~repro.exceptions.ExperimentError` listing
+    the accepted keys) and then forwarded to the experiment runner; the front
     comparison experiments accept ``n_generations`` and ``population_size``
-    so callers (benchmarks, CLI) can trade accuracy for time.
+    so callers (benchmarks, CLI, campaigns) can trade accuracy for time.
     """
     spec = get_experiment(experiment_id)
     logger.info("running experiment %s (%s)", experiment_id, spec.paper_artifact)
-    result = spec.run(seed=seed, **overrides)
+    result = spec.run(seed=seed, **overrides)  # spec.run validates the overrides
     logger.info(
         "experiment %s finished: %s",
         experiment_id,

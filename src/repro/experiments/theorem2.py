@@ -24,7 +24,7 @@ N_RECORDS = 10_000
 N_POINTS = 201
 
 
-def run_theorem2(*, seed: int = 0, n_categories: int = N_CATEGORIES, **_unused) -> ExperimentResult:
+def run_theorem2(*, seed: int = 0, n_categories: int = N_CATEGORIES) -> ExperimentResult:
     """Verify Theorem 2 numerically."""
     prior = normal_distribution(n_categories)
     evaluator = MatrixEvaluator(prior, N_RECORDS, delta=None)
@@ -110,5 +110,6 @@ register_experiment(
         paper_claim="the solution sets of the Warner, UP and FRAPP schemes are identical",
         parameters={"n_categories": N_CATEGORIES, "n_records": N_RECORDS},
         runner=run_theorem2,
+        accepted_overrides=("n_categories",),
     )
 )

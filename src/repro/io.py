@@ -1,23 +1,34 @@
-"""Serialization of RR matrices and optimization results.
+"""Serialization of RR matrices, optimization results and experiment results.
 
 Optimized RR matrices are artefacts users want to store, version and ship to
 the data-collection clients that apply the disguise.  This module provides a
-stable JSON representation for :class:`~repro.rr.matrix.RRMatrix` and
-:class:`~repro.core.result.OptimizationResult`, with round-trip guarantees
+stable JSON representation for :class:`~repro.rr.matrix.RRMatrix`,
+:class:`~repro.core.result.OptimizationResult` and
+:class:`~repro.experiments.base.ExperimentResult` (the ``experiment_result``
+document type backing the campaign result cache), with round-trip guarantees
 covered by the test suite.
+
+Experiment-result documents are always written with sorted keys so the same
+result serializes to byte-identical JSON — the property the campaign cache
+and the campaign determinism guarantee are built on.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.core.result import OptimizationResult, ParetoPoint
 from repro.exceptions import ValidationError
 from repro.rr.matrix import RRMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.analysis.compare import FrontComparison
+    from repro.analysis.front import ParetoFront
+    from repro.experiments.base import ExperimentResult
 
 #: Format identifier embedded in every serialized document.
 FORMAT_VERSION = 1
@@ -90,6 +101,153 @@ def result_from_dict(document: dict[str, Any]) -> OptimizationResult:
         n_generations=int(document.get("n_generations", 0)),
         n_evaluations=int(document.get("n_evaluations", 0)),
     )
+
+
+def front_to_dict(front: "ParetoFront") -> dict[str, Any]:
+    """Serialize a Pareto front (points plus any attached matrices)."""
+    return {
+        "name": front.name,
+        "points": [
+            {
+                "privacy": float(point.privacy),
+                "utility": float(point.utility),
+                "matrix": matrix_to_dict(point.matrix) if point.matrix is not None else None,
+            }
+            for point in front.points
+        ],
+    }
+
+
+def front_from_dict(document: dict[str, Any]) -> "ParetoFront":
+    """Deserialize a Pareto front from :func:`front_to_dict` output."""
+    from repro.analysis.front import FrontPoint, ParetoFront
+
+    points = tuple(
+        FrontPoint(
+            privacy=float(item["privacy"]),
+            utility=float(item["utility"]),
+            matrix=matrix_from_dict(item["matrix"]) if item.get("matrix") else None,
+        )
+        for item in document.get("points", [])
+    )
+    return ParetoFront(str(document["name"]), points)
+
+
+def comparison_to_dict(comparison: "FrontComparison") -> dict[str, Any]:
+    """Serialize a front comparison (all indicator fields)."""
+    return {
+        "candidate_name": comparison.candidate_name,
+        "baseline_name": comparison.baseline_name,
+        "candidate_privacy_range": [float(v) for v in comparison.candidate_privacy_range],
+        "baseline_privacy_range": [float(v) for v in comparison.baseline_privacy_range],
+        "extra_privacy_range": float(comparison.extra_privacy_range),
+        "mean_utility_ratio": float(comparison.mean_utility_ratio),
+        "candidate_wins": int(comparison.candidate_wins),
+        "baseline_wins": int(comparison.baseline_wins),
+        "ties": int(comparison.ties),
+        "hypervolume_candidate": float(comparison.hypervolume_candidate),
+        "hypervolume_baseline": float(comparison.hypervolume_baseline),
+        "coverage_candidate_over_baseline": float(
+            comparison.coverage_candidate_over_baseline
+        ),
+        "additive_epsilon": float(comparison.additive_epsilon),
+    }
+
+
+def comparison_from_dict(document: dict[str, Any]) -> "FrontComparison":
+    """Deserialize a front comparison from :func:`comparison_to_dict` output."""
+    from repro.analysis.compare import FrontComparison
+
+    return FrontComparison(
+        candidate_name=str(document["candidate_name"]),
+        baseline_name=str(document["baseline_name"]),
+        candidate_privacy_range=tuple(
+            float(v) for v in document["candidate_privacy_range"]
+        ),
+        baseline_privacy_range=tuple(
+            float(v) for v in document["baseline_privacy_range"]
+        ),
+        extra_privacy_range=float(document["extra_privacy_range"]),
+        mean_utility_ratio=float(document["mean_utility_ratio"]),
+        candidate_wins=int(document["candidate_wins"]),
+        baseline_wins=int(document["baseline_wins"]),
+        ties=int(document["ties"]),
+        hypervolume_candidate=float(document["hypervolume_candidate"]),
+        hypervolume_baseline=float(document["hypervolume_baseline"]),
+        coverage_candidate_over_baseline=float(
+            document["coverage_candidate_over_baseline"]
+        ),
+        additive_epsilon=float(document["additive_epsilon"]),
+    )
+
+
+def experiment_result_to_dict(result: "ExperimentResult") -> dict[str, Any]:
+    """Serialize an experiment result (fronts, comparison, verdict, metrics).
+
+    This is the ``experiment_result`` document type the campaign cache
+    stores; campaign workers also ship results to the parent process in this
+    form so cached and freshly-computed runs are bit-for-bit interchangeable.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "type": "experiment_result",
+        "experiment_id": result.experiment_id,
+        "reproduced": bool(result.reproduced),
+        "summary": list(result.summary),
+        "metrics": {key: float(value) for key, value in result.metrics.items()},
+        "fronts": {name: front_to_dict(front) for name, front in result.fronts.items()},
+        "comparison": (
+            comparison_to_dict(result.comparison) if result.comparison is not None else None
+        ),
+    }
+
+
+def experiment_result_from_dict(document: dict[str, Any]) -> "ExperimentResult":
+    """Deserialize an experiment result from :func:`experiment_result_to_dict`
+    output."""
+    from repro.experiments.base import ExperimentResult
+
+    _check_document(document, "experiment_result")
+    comparison_document = document.get("comparison")
+    return ExperimentResult(
+        experiment_id=str(document["experiment_id"]),
+        fronts={
+            name: front_from_dict(front_document)
+            for name, front_document in document.get("fronts", {}).items()
+        },
+        comparison=(
+            comparison_from_dict(comparison_document) if comparison_document else None
+        ),
+        reproduced=bool(document.get("reproduced", False)),
+        summary=tuple(str(line) for line in document.get("summary", [])),
+        metrics={
+            key: float(value) for key, value in document.get("metrics", {}).items()
+        },
+    )
+
+
+def dump_canonical_json(document: dict[str, Any]) -> str:
+    """Render a document as canonical JSON (sorted keys, fixed indent).
+
+    The campaign cache and the campaign aggregates rely on this being
+    deterministic: the same document always produces the same bytes.
+    """
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def save_experiment_result(result: "ExperimentResult", path: str | Path) -> Path:
+    """Write an experiment result to a canonical-JSON file and return the
+    path."""
+    path = Path(path)
+    path.write_text(dump_canonical_json(experiment_result_to_dict(result)), encoding="utf-8")
+    return path
+
+
+def load_experiment_result(path: str | Path) -> "ExperimentResult":
+    """Read an experiment result from a JSON file written by
+    :func:`save_experiment_result`."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    return experiment_result_from_dict(document)
 
 
 def save_matrix(matrix: RRMatrix, path: str | Path) -> Path:

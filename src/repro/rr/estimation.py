@@ -215,16 +215,51 @@ class IterativeEstimator:
         return self.estimate(counts, matrix, initial=initial)
 
 
+#: Keyword options each estimation method understands: constructor options of
+#: the underlying estimator, plus (for the iterative method) the ``initial``
+#: guess forwarded to the estimate call itself.
+_INVERSION_OPTIONS = frozenset({"clip_negative"})
+_ITERATIVE_CONSTRUCTOR_OPTIONS = frozenset(
+    {"max_iterations", "tolerance", "raise_on_nonconvergence"}
+)
+_ITERATIVE_OPTIONS = _ITERATIVE_CONSTRUCTOR_OPTIONS | {"initial"}
+
+
+def _check_options(method: str, options: dict, accepted: frozenset[str]) -> None:
+    unknown = sorted(set(options) - accepted)
+    if unknown:
+        raise EstimationError(
+            f"unknown option(s) {', '.join(map(repr, unknown))} for the "
+            f"{method!r} method; accepted: {', '.join(map(repr, sorted(accepted)))}"
+        )
+
+
 def estimate_distribution(
     codes: np.ndarray,
     matrix: RRMatrix,
     *,
     method: str = "inversion",
+    **options,
 ) -> DistributionEstimate:
     """Convenience wrapper: estimate the original distribution from disguised
-    codes using the named method (``"inversion"`` or ``"iterative"``)."""
+    codes using the named method (``"inversion"`` or ``"iterative"``).
+
+    Keyword options are forwarded to the underlying estimator:
+
+    * ``inversion`` accepts ``clip_negative``;
+    * ``iterative`` accepts ``max_iterations``, ``tolerance``,
+      ``raise_on_nonconvergence`` and the ``initial`` guess.
+
+    An option the chosen method does not understand raises
+    :class:`EstimationError` listing the accepted names.
+    """
     if method == "inversion":
-        return InversionEstimator().estimate_from_codes(codes, matrix)
+        _check_options(method, options, _INVERSION_OPTIONS)
+        return InversionEstimator(**options).estimate_from_codes(codes, matrix)
     if method == "iterative":
-        return IterativeEstimator().estimate_from_codes(codes, matrix)
+        _check_options(method, options, _ITERATIVE_OPTIONS)
+        initial = options.pop("initial", None)
+        return IterativeEstimator(**options).estimate_from_codes(
+            codes, matrix, initial=initial
+        )
     raise EstimationError(f"unknown estimation method {method!r}")

@@ -13,6 +13,7 @@ from repro.utils.linalg import (
     batched_condition_numbers,
     batched_safe_inverses,
     condition_number,
+    one_norm_condition_estimate,
     safe_inverse,
 )
 from repro.utils.logging import get_logger
@@ -29,5 +30,6 @@ __all__ = [
     "condition_number",
     "get_logger",
     "normalize_probabilities",
+    "one_norm_condition_estimate",
     "safe_inverse",
 ]

@@ -1,4 +1,16 @@
-"""Linear-algebra helpers for the inversion-based estimator."""
+"""Linear-algebra helpers for the inversion-based estimator.
+
+Near-singular classification
+----------------------------
+Whether a matrix counts as "numerically invertible" is decided — for the
+scalar *and* the batched path — by the same rule: invert via LU and accept
+the inverse only when the 1-norm condition estimate
+``cond_1(A) = ||A||_1 ||A^-1||_1`` stays below the configured limit.  The
+estimate reuses the inverse that the estimator needs anyway, so no SVD is
+required, and because every caller goes through the shared helper
+:func:`one_norm_condition_estimate` the scalar API and the batch engine can
+never disagree about which matrices are usable.
+"""
 
 from __future__ import annotations
 
@@ -7,24 +19,53 @@ import numpy as np
 from repro.exceptions import SingularMatrixError
 from repro.utils.validation import check_matrix_stack
 
-#: Matrices whose condition number exceeds this value are treated as singular
-#: for the purpose of the inversion estimator; the resulting estimates would
-#: be numerically meaningless anyway.
+#: Matrices whose 1-norm condition estimate exceeds this value are treated as
+#: singular for the purpose of the inversion estimator; the resulting
+#: estimates would be numerically meaningless anyway.
 DEFAULT_CONDITION_LIMIT = 1e12
 
 
 def condition_number(matrix: np.ndarray) -> float:
-    """Return the 2-norm condition number of ``matrix`` (``inf`` if singular)."""
+    """Return the 2-norm condition number of ``matrix`` (``inf`` if singular).
+
+    This is the textbook SVD-based diagnostic (exposed as
+    ``RRMatrix.condition``); the invertibility *decision* uses
+    :func:`one_norm_condition_estimate` instead.
+    """
     try:
         return float(np.linalg.cond(matrix))
     except np.linalg.LinAlgError:  # pragma: no cover - defensive
         return float("inf")
 
 
+def one_norm_condition_estimate(matrix: np.ndarray, inverse: np.ndarray) -> np.ndarray:
+    """1-norm condition estimate ``||A||_1 ||A^-1||_1`` from a known inverse.
+
+    Works on a single ``(n, n)`` matrix or a ``(B, n, n)`` stack (the norms
+    reduce over the trailing two axes either way).  ``cond_1`` and the SVD
+    2-norm condition number bound each other within a factor of ``n``, and
+    reusing the inverse makes the estimate essentially free — which is why it
+    is the classification rule for both evaluation paths.
+    """
+    one_norms = np.abs(matrix).sum(axis=-2).max(axis=-1)
+    inverse_one_norms = np.abs(inverse).sum(axis=-2).max(axis=-1)
+    with np.errstate(over="ignore", invalid="ignore"):
+        return one_norms * inverse_one_norms
+
+
 def is_invertible(matrix: np.ndarray, *, condition_limit: float = DEFAULT_CONDITION_LIMIT) -> bool:
-    """Return ``True`` when ``matrix`` is numerically invertible."""
-    cond = condition_number(matrix)
-    return np.isfinite(cond) and cond < condition_limit
+    """Return ``True`` when ``matrix`` is numerically invertible.
+
+    Uses the same 1-norm condition estimate as the batched path, so
+    ``is_invertible(m)`` and ``batched_safe_inverses(m[None])[1][0]`` always
+    agree.
+    """
+    try:
+        inverse = np.linalg.inv(matrix)
+    except np.linalg.LinAlgError:
+        return False
+    estimate = one_norm_condition_estimate(matrix, inverse)
+    return bool(np.isfinite(estimate) and estimate < condition_limit)
 
 
 def safe_inverse(
@@ -33,16 +74,22 @@ def safe_inverse(
     condition_limit: float = DEFAULT_CONDITION_LIMIT,
 ) -> np.ndarray:
     """Invert ``matrix``, raising :class:`SingularMatrixError` when it is
-    singular or too ill-conditioned to invert reliably."""
-    cond = condition_number(matrix)
-    if not np.isfinite(cond) or cond >= condition_limit:
-        raise SingularMatrixError(
-            f"matrix is singular or ill-conditioned (condition number {cond:.3e})"
-        )
+    singular or too ill-conditioned to invert reliably.
+
+    Classification matches :func:`batched_safe_inverses` exactly (shared
+    1-norm condition estimate), so the scalar and batch paths agree on every
+    matrix.
+    """
     try:
-        return np.linalg.inv(matrix)
-    except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
-        raise SingularMatrixError("matrix could not be inverted") from exc
+        inverse = np.linalg.inv(matrix)
+    except np.linalg.LinAlgError as exc:
+        raise SingularMatrixError("matrix is exactly singular") from exc
+    estimate = float(one_norm_condition_estimate(matrix, inverse))
+    if not np.isfinite(estimate) or estimate >= condition_limit:
+        raise SingularMatrixError(
+            f"matrix is singular or ill-conditioned (condition estimate {estimate:.3e})"
+        )
+    return inverse
 
 
 def batched_condition_numbers(stack: np.ndarray) -> np.ndarray:
@@ -73,12 +120,10 @@ def batched_safe_inverses(
     otherwise (callers must consult the mask before using a row).
 
     Exactly singular matrices are caught by the batched LU determinant sign
-    before inversion; near-singular ones by the 1-norm condition estimate
-    ``cond_1 = ||A||_1 ||A^-1||_1`` computed from the inverse that is needed
-    anyway.  ``cond_1`` and the scalar path's SVD-based 2-norm condition
-    number bound each other within a factor of ``n``, so classification can
-    only differ inside a narrow band around the (heuristic) ``condition_limit``
-    — and avoiding the batched SVD is what makes population evaluation cheap.
+    before inversion; near-singular ones by the shared
+    :func:`one_norm_condition_estimate` — the same rule :func:`safe_inverse`
+    and :func:`is_invertible` apply, so the scalar and batched paths classify
+    every matrix identically.
     """
     stack = check_matrix_stack(stack)
     inverses = np.zeros_like(stack)
@@ -96,10 +141,7 @@ def batched_safe_inverses(
                 except np.linalg.LinAlgError:
                     candidates[index] = False
                     inverses[index] = 0.0
-    one_norms = np.abs(stack).sum(axis=1).max(axis=1)
-    inverse_one_norms = np.abs(inverses).sum(axis=1).max(axis=1)
-    with np.errstate(over="ignore", invalid="ignore"):
-        condition_estimates = one_norms * inverse_one_norms
+    condition_estimates = one_norm_condition_estimate(stack, inverses)
     invertible = (
         candidates
         & np.isfinite(condition_estimates)

@@ -1,0 +1,108 @@
+"""Tests for cross-seed aggregation (repro.analysis.aggregate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import (
+    aggregate_campaign_runs,
+    aggregate_experiment_runs,
+    aggregate_to_document,
+    format_aggregate_table,
+)
+from repro.exceptions import ValidationError
+from repro.experiments.base import ExperimentResult
+
+
+def _result(experiment_id: str, *, reproduced: bool = True, **metrics: float) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        reproduced=reproduced,
+        metrics={key: float(value) for key, value in metrics.items()},
+    )
+
+
+class TestAggregateExperimentRuns:
+    def test_statistics_match_numpy(self):
+        values = [0.2, 0.5, 0.9, 0.4]
+        runs = [
+            (seed, _result("fig4a", optrr_hypervolume=value))
+            for seed, value in enumerate(values)
+        ]
+        aggregate = aggregate_experiment_runs("fig4a", runs)
+        stats = aggregate.metrics["optrr_hypervolume"]
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.std == pytest.approx(np.std(values))
+        assert stats.min == pytest.approx(min(values))
+        assert stats.max == pytest.approx(max(values))
+        assert aggregate.seeds == (0, 1, 2, 3)
+        assert aggregate.n_runs == 4
+
+    def test_reproduction_rate(self):
+        runs = [
+            (0, _result("fig4a", reproduced=True)),
+            (1, _result("fig4a", reproduced=False)),
+            (2, _result("fig4a", reproduced=True)),
+            (3, _result("fig4a", reproduced=True)),
+        ]
+        aggregate = aggregate_experiment_runs("fig4a", runs)
+        assert aggregate.reproduction_rate == pytest.approx(0.75)
+
+    def test_only_shared_metric_keys_are_aggregated(self):
+        runs = [
+            (0, _result("fig4a", a=1.0, b=2.0)),
+            (1, _result("fig4a", a=3.0)),
+        ]
+        aggregate = aggregate_experiment_runs("fig4a", runs)
+        assert set(aggregate.metrics) == {"a"}
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValidationError, match="no runs"):
+            aggregate_experiment_runs("fig4a", [])
+
+    def test_mismatched_experiment_rejected(self):
+        with pytest.raises(ValidationError, match="cannot be aggregated"):
+            aggregate_experiment_runs("fig4a", [(0, _result("fig4b"))])
+
+
+class TestAggregateCampaignRuns:
+    def test_grouping_preserves_first_occurrence_order(self):
+        runs = [
+            ("thm2", 0, _result("thm2")),
+            ("fig4a", 0, _result("fig4a", a=1.0)),
+            ("thm2", 1, _result("thm2")),
+            ("fig4a", 1, _result("fig4a", a=2.0)),
+        ]
+        aggregates = aggregate_campaign_runs(runs)
+        assert list(aggregates) == ["thm2", "fig4a"]
+        assert aggregates["fig4a"].seeds == (0, 1)
+        assert aggregates["fig4a"].metrics["a"].mean == pytest.approx(1.5)
+
+
+class TestAggregateDocument:
+    def test_document_shape(self):
+        aggregates = aggregate_campaign_runs(
+            [("fig4a", seed, _result("fig4a", a=float(seed))) for seed in range(3)]
+        )
+        document = aggregate_to_document(aggregates)
+        assert document["type"] == "campaign_aggregate"
+        entry = document["experiments"]["fig4a"]
+        assert entry["seeds"] == [0, 1, 2]
+        assert entry["n_runs"] == 3
+        assert entry["metrics"]["a"] == {
+            "mean": 1.0, "std": pytest.approx(np.std([0.0, 1.0, 2.0])),
+            "min": 0.0, "max": 2.0,
+        }
+
+    def test_table_lists_every_experiment(self):
+        aggregates = aggregate_campaign_runs(
+            [
+                ("fig4a", 0, _result("fig4a", optrr_hypervolume=0.4)),
+                ("thm2", 0, _result("thm2")),
+            ]
+        )
+        table = format_aggregate_table(aggregates)
+        assert "fig4a" in table
+        assert "thm2" in table
+        assert "100%" in table

@@ -12,7 +12,8 @@ from repro.experiments.base import (
     default_generations,
     default_population,
 )
-from repro.experiments.registry import register_experiment
+from repro.experiments.registry import find_experiments, register_experiment
+from repro.experiments.runner import run_experiment
 
 
 class TestRegistry:
@@ -42,6 +43,48 @@ class TestRegistry:
             assert spec.paper_claim
             assert spec.description
             assert callable(spec.runner)
+
+
+class TestFindExperiments:
+    def test_exact_ids_pass_through(self):
+        assert find_experiments(["fig4a", "thm2"]) == ("fig4a", "thm2")
+
+    def test_glob_expands_sorted(self):
+        assert find_experiments(["fig4*"]) == ("fig4a", "fig4b", "fig4c", "fig4d")
+
+    def test_duplicates_collapse_first_wins(self):
+        assert find_experiments(["fig4a", "fig4*"]) == (
+            "fig4a", "fig4b", "fig4c", "fig4d",
+        )
+
+    def test_unmatched_pattern_raises(self):
+        with pytest.raises(ExperimentError, match="matches no experiment"):
+            find_experiments(["fig9*"])
+
+
+class TestOverrideValidation:
+    def test_run_experiment_rejects_unknown_override(self):
+        with pytest.raises(ExperimentError, match="accepted keys"):
+            run_experiment("thm2", seed=0, population_size=8)
+
+    def test_error_lists_accepted_keys(self):
+        with pytest.raises(ExperimentError, match="'n_categories'"):
+            run_experiment("fact1", seed=0, nonsense=True)
+
+    def test_spec_run_validates_too(self):
+        spec = get_experiment("fig4a")
+        with pytest.raises(ExperimentError, match="does not accept"):
+            spec.run(seed=0, delta=0.5)
+
+    def test_front_comparison_specs_accept_budget_overrides(self):
+        for experiment_id in ("fig4a", "fig5a", "fig5d"):
+            spec = get_experiment(experiment_id)
+            assert set(spec.accepted_overrides) == {"n_generations", "population_size"}
+
+    def test_filter_overrides_keeps_only_accepted(self):
+        spec = get_experiment("thm2")
+        filtered = spec.filter_overrides({"n_categories": 6, "n_generations": 10})
+        assert filtered == {"n_categories": 6}
 
 
 class TestEnvironmentOverrides:

@@ -163,3 +163,60 @@ class TestEstimateDistributionWrapper:
     def test_unknown_method(self):
         with pytest.raises(EstimationError):
             estimate_distribution(np.array([0, 1]), RRMatrix.identity(2), method="magic")
+
+    def test_inversion_forwards_clip_negative(self, small_prior):
+        matrix = warner_matrix(4, 0.6)
+        codes = RandomizedResponse(matrix).randomize_codes(
+            small_prior.sample(50, seed=3), seed=4
+        )
+        raw = estimate_distribution(codes, matrix, method="inversion", clip_negative=False)
+        clipped = estimate_distribution(codes, matrix, method="inversion", clip_negative=True)
+        # The uncorrected estimate is returned verbatim when clipping is off.
+        np.testing.assert_array_equal(raw.probabilities, raw.raw_probabilities)
+        assert np.all(clipped.probabilities >= 0.0)
+
+    def test_iterative_forwards_max_iterations(self, small_prior):
+        matrix = warner_matrix(4, 0.55)
+        codes = RandomizedResponse(matrix).randomize_codes(
+            small_prior.sample(5_000, seed=5), seed=6
+        )
+        estimate = estimate_distribution(
+            codes, matrix, method="iterative", max_iterations=2, tolerance=1e-15
+        )
+        assert estimate.n_iterations <= 2
+        assert not estimate.converged
+
+    def test_iterative_forwards_initial_guess(self, small_prior):
+        matrix = warner_matrix(4, 0.6)
+        codes = RandomizedResponse(matrix).randomize_codes(
+            small_prior.sample(5_000, seed=7), seed=8
+        )
+        # Starting at the truth should converge at least as fast as uniform.
+        from_truth = estimate_distribution(
+            codes, matrix, method="iterative", initial=small_prior.probabilities
+        )
+        from_uniform = estimate_distribution(codes, matrix, method="iterative")
+        assert from_truth.converged
+        assert from_truth.n_iterations <= from_uniform.n_iterations
+
+    def test_iterative_forwards_raise_on_nonconvergence(self, small_prior):
+        matrix = warner_matrix(4, 0.55)
+        codes = RandomizedResponse(matrix).randomize_codes(
+            small_prior.sample(5_000, seed=9), seed=10
+        )
+        with pytest.raises(EstimationError, match="did not converge"):
+            estimate_distribution(
+                codes, matrix, method="iterative",
+                max_iterations=1, tolerance=1e-15, raise_on_nonconvergence=True,
+            )
+
+    def test_unknown_option_rejected_per_method(self):
+        codes = np.array([0, 1, 1, 0])
+        with pytest.raises(EstimationError, match="accepted"):
+            estimate_distribution(
+                codes, RRMatrix.identity(2), method="inversion", max_iterations=5
+            )
+        with pytest.raises(EstimationError, match="accepted"):
+            estimate_distribution(
+                codes, RRMatrix.identity(2), method="iterative", clip_negative=True
+            )

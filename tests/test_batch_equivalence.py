@@ -62,17 +62,28 @@ def priors(draw, min_categories: int = 2, max_categories: int = 8):
     return CategoricalDistribution.from_weights(weights)
 
 
+def _near_singular_blend(rng: np.random.Generator, n: int, log10_t: float) -> RRMatrix:
+    """A matrix whose last column is a ``10**log10_t``-blend away from the
+    first — near-singular, landing around the condition limit for
+    ``log10_t`` near -12 (the former 1-norm/2-norm divergence band)."""
+    values = random_rr_matrix(n, seed=rng).as_array()
+    t = 10.0 ** log10_t
+    blended = (1.0 - t) * values[:, 0] + t * values[:, -1]
+    values[:, -1] = blended / blended.sum()
+    return RRMatrix(values)
+
+
 @st.composite
 def matrix_batches(draw, n: int, max_batch: int = 6):
-    """A stack of random matrices mixing plain-random, diagonally-biased and
-    singular (duplicated-column) members — the three regimes the batch engine
-    must classify exactly like the scalar path."""
+    """A stack of random matrices mixing plain-random, diagonally-biased,
+    singular (duplicated-column) and near-singular members — the regimes the
+    batch engine must classify exactly like the scalar path."""
     batch_size = draw(st.integers(1, max_batch))
     seed = draw(st.integers(0, 2**31 - 1))
     rng = np.random.default_rng(seed)
     matrices = []
     for index in range(batch_size):
-        kind = draw(st.integers(0, 3))
+        kind = draw(st.integers(0, 4))
         if kind == 0:
             matrices.append(random_rr_matrix(n, seed=rng))
         elif kind == 1:
@@ -83,9 +94,13 @@ def matrix_batches(draw, n: int, max_batch: int = 6):
             values = random_rr_matrix(n, seed=rng).as_array()
             values[:, -1] = values[:, 0]
             matrices.append(RRMatrix(values))
-        else:
+        elif kind == 3:
             # Rank-one (uniform columns): singular for n >= 2.
             matrices.append(RRMatrix.uniform(n))
+        else:
+            # Near-singular, straddling the condition limit.
+            log10_t = draw(st.floats(-14.0, -9.0))
+            matrices.append(_near_singular_blend(rng, n, log10_t))
     return matrices
 
 
@@ -171,6 +186,27 @@ class TestBatchEvaluationEquivalence:
         batch = evaluator.evaluate_batch(matrices)
         for index, matrix in enumerate(matrices):
             assert evaluator.evaluate(matrix) == batch[index]
+
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(2, 8),
+        log10_t=st.floats(-13.5, -10.5),
+    )
+    def test_invertibility_agrees_in_the_former_divergence_band(self, seed, n, log10_t):
+        """Regression for PR 1's wart: the batch path classified near-singular
+        matrices by the 1-norm condition estimate while the scalar path used
+        the SVD 2-norm, so the two could disagree in a band around the
+        condition limit.  Classification is unified now — every public path
+        must agree on invertibility for matrices inside that band."""
+        rng = np.random.default_rng(seed)
+        matrix = _near_singular_blend(rng, n, log10_t)
+        prior = CategoricalDistribution(np.full(n, 1.0 / n))
+        evaluator = MatrixEvaluator(prior, 1000, delta=None)
+        batch = evaluator.evaluate_batch([matrix])
+        assert evaluator.evaluate(matrix).invertible == batch[0].invertible
+        assert evaluator.evaluate_scalar(matrix).invertible == batch[0].invertible
+        assert matrix.is_invertible == batch[0].invertible
 
 
 # -- variation operators -------------------------------------------------------

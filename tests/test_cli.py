@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
+
+#: Tiny optimizer budget for campaign CLI tests.
+FAST_CAMPAIGN = ["--generations", "5", "--population", "8"]
 
 
 class TestList:
@@ -73,11 +78,147 @@ class TestRun:
         assert "fig4a" in output
         assert exit_code in (0, 1)  # tiny budgets may legitimately diverge
 
-    def test_unknown_experiment_raises(self):
-        from repro.exceptions import ExperimentError
+    def test_unknown_experiment_exits_2_with_message(self, capsys):
+        assert main(["run", "does-not-exist"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
-        with pytest.raises(ExperimentError):
-            main(["run", "does-not-exist"])
+    def test_rejected_override_exits_2_listing_accepted_keys(self, capsys):
+        # thm2 does not take an optimizer budget; the error must name the
+        # accepted keys instead of surfacing a raw TypeError.
+        assert main(["run", "thm2", "--population", "8"]) == 2
+        error = capsys.readouterr().err
+        assert "does not accept" in error
+        assert "n_categories" in error
+
+
+class TestCampaign:
+    def test_campaign_runs_and_writes_aggregate(self, capsys, tmp_path):
+        output = tmp_path / "aggregate.json"
+        exit_code = main([
+            "campaign", "fact1", "fig4a",
+            "--seeds", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--output", str(output),
+            *FAST_CAMPAIGN,
+        ])
+        assert exit_code == 0
+        stdout = capsys.readouterr().out
+        assert "2 experiment(s) x 2 seed(s) = 4 run(s)" in stdout
+        assert "fact1" in stdout
+        assert "fig4a" in stdout
+        document = json.loads(output.read_text())
+        assert document["type"] == "campaign_aggregate"
+        assert set(document["experiments"]) == {"fact1", "fig4a"}
+        assert document["experiments"]["fig4a"]["seeds"] == [0, 1]
+
+    def test_campaign_glob_patterns_expand(self, capsys):
+        assert main(["campaign", "fig4[ab]", "--seeds", "1", *FAST_CAMPAIGN]) == 0
+        stdout = capsys.readouterr().out
+        assert "fig4a" in stdout
+        assert "fig4b" in stdout
+
+    def test_cached_rerun_is_byte_identical(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        arguments = ["campaign", "fact1", "--seeds", "2", "--cache-dir", cache]
+        assert main(arguments + ["--output", str(first)]) == 0
+        assert main(arguments + ["--jobs", "2", "--output", str(second)]) == 0
+        assert "2 from cache" in capsys.readouterr().out
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_unmatched_pattern_exits_2(self, capsys):
+        assert main(["campaign", "fig9*", "--seeds", "1"]) == 2
+        assert "matches no experiment" in capsys.readouterr().err
+
+    def test_zero_seeds_exits_2(self, capsys):
+        assert main(["campaign", "fact1", "--seeds", "0"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_zero_jobs_exits_2(self, capsys):
+        assert main(["campaign", "fact1", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_missing_output_directory_fails_before_running(self, capsys, tmp_path):
+        exit_code = main([
+            "campaign", "fact1", "--seeds", "1",
+            "--output", str(tmp_path / "nope" / "agg.json"),
+        ])
+        assert exit_code == 2
+        error = capsys.readouterr().err
+        assert "--output" in error
+
+    def test_cache_dir_pointing_at_file_exits_2(self, capsys, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        exit_code = main([
+            "campaign", "fact1", "--seeds", "1", "--cache-dir", str(blocker),
+        ])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_cache_dir_nested_under_a_file_exits_2(self, capsys, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        exit_code = main([
+            "campaign", "fact1", "--seeds", "1",
+            "--cache-dir", str(blocker / "cache"),
+        ])
+        assert exit_code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_output_pointing_at_directory_exits_2(self, capsys, tmp_path):
+        exit_code = main([
+            "campaign", "fact1", "--seeds", "1", "--output", str(tmp_path),
+        ])
+        assert exit_code == 2
+        assert "existing directory" in capsys.readouterr().err
+
+
+class TestAdultCategoriesResolution:
+    def test_optimize_derives_categories_from_adult_attribute(self, capsys):
+        exit_code = main([
+            "optimize", "--distribution", "adult:sex",
+            "--records", "500", "--generations", "5", "--population", "8",
+        ])
+        assert exit_code == 0
+        assert "privacy range" in capsys.readouterr().out
+
+    def test_optimize_accepts_matching_explicit_categories(self, capsys):
+        exit_code = main([
+            "optimize", "--distribution", "adult:sex", "--categories", "2",
+            "--records", "500", "--generations", "5", "--population", "8",
+        ])
+        assert exit_code == 0
+
+    def test_optimize_rejects_conflicting_categories(self, capsys):
+        exit_code = main([
+            "optimize", "--distribution", "adult:sex", "--categories", "10",
+            "--records", "500", "--generations", "5", "--population", "8",
+        ])
+        assert exit_code == 2
+        error = capsys.readouterr().err
+        assert "--categories 10 conflicts" in error
+        assert "'sex'" in error
+
+    def test_compare_schemes_rejects_conflicting_categories(self, capsys):
+        exit_code = main([
+            "compare-schemes", "--distribution", "adult:sex",
+            "--categories", "5", "--records", "500",
+        ])
+        assert exit_code == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_compare_schemes_derives_categories(self, capsys):
+        exit_code = main([
+            "compare-schemes", "--distribution", "adult:sex", "--records", "500",
+        ])
+        assert exit_code == 0
+        assert "warner" in capsys.readouterr().out
+
+    def test_unknown_adult_attribute_exits_2(self, capsys):
+        assert main(["optimize", "--distribution", "adult:nope"]) == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestArgumentErrors:

@@ -11,12 +11,17 @@ from repro.core.config import OptRRConfig
 from repro.core.optimizer import OptRROptimizer
 from repro.exceptions import ValidationError
 from repro.io import (
+    dump_canonical_json,
+    experiment_result_from_dict,
+    experiment_result_to_dict,
+    load_experiment_result,
     load_matrix,
     load_result,
     matrix_from_dict,
     matrix_to_dict,
     result_from_dict,
     result_to_dict,
+    save_experiment_result,
     save_matrix,
     save_result,
 )
@@ -102,3 +107,56 @@ class TestResultSerialization:
     def test_rejects_wrong_type(self):
         with pytest.raises(ValidationError):
             result_from_dict({"type": "rr_matrix", "format_version": 1})
+
+
+class TestExperimentResultSerialization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.runner import run_experiment
+
+        return run_experiment("fig4a", seed=0, n_generations=8, population_size=8)
+
+    def test_round_trip_dict(self, result):
+        restored = experiment_result_from_dict(experiment_result_to_dict(result))
+        assert restored.experiment_id == result.experiment_id
+        assert restored.reproduced == result.reproduced
+        assert restored.summary == result.summary
+        assert set(restored.fronts) == set(result.fronts)
+        assert restored.metrics == dict(result.metrics)
+
+    def test_round_trip_preserves_front_points_and_matrices(self, result):
+        restored = experiment_result_from_dict(experiment_result_to_dict(result))
+        for name, front in result.fronts.items():
+            loaded = restored.fronts[name]
+            np.testing.assert_array_equal(loaded.privacy_values(), front.privacy_values())
+            np.testing.assert_array_equal(loaded.utility_values(), front.utility_values())
+            for original, point in zip(front, loaded):
+                assert original.matrix == point.matrix
+
+    def test_round_trip_preserves_comparison(self, result):
+        restored = experiment_result_from_dict(experiment_result_to_dict(result))
+        assert restored.comparison == result.comparison
+
+    def test_round_trip_without_comparison(self):
+        from repro.experiments.runner import run_experiment
+
+        result = run_experiment("fact1", seed=0)
+        restored = experiment_result_from_dict(experiment_result_to_dict(result))
+        assert restored.comparison is None
+        assert restored.metrics == dict(result.metrics)
+
+    def test_round_trip_file(self, result, tmp_path):
+        path = save_experiment_result(result, tmp_path / "experiment.json")
+        restored = load_experiment_result(path)
+        assert restored.experiment_id == result.experiment_id
+
+    def test_serialization_is_byte_stable(self, result):
+        document = experiment_result_to_dict(result)
+        round_tripped = experiment_result_from_dict(document)
+        assert dump_canonical_json(experiment_result_to_dict(round_tripped)) == (
+            dump_canonical_json(document)
+        )
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValidationError):
+            experiment_result_from_dict({"type": "rr_matrix", "format_version": 1})

@@ -8,10 +8,12 @@ import pytest
 from repro.exceptions import SingularMatrixError
 from repro.exceptions import ValidationError
 from repro.utils.linalg import (
+    DEFAULT_CONDITION_LIMIT,
     batched_condition_numbers,
     batched_safe_inverses,
     condition_number,
     is_invertible,
+    one_norm_condition_estimate,
     safe_inverse,
 )
 
@@ -72,6 +74,90 @@ class TestBatchedConditionNumbers:
     def test_rejects_non_stack(self):
         with pytest.raises(ValidationError):
             batched_condition_numbers(np.eye(3))
+
+
+class TestOneNormConditionEstimate:
+    def test_identity_estimate_is_one(self):
+        assert one_norm_condition_estimate(np.eye(3), np.eye(3)) == pytest.approx(1.0)
+
+    def test_scalar_and_stack_forms_agree(self):
+        rng = np.random.default_rng(3)
+        stack = rng.dirichlet(np.ones(4) * 2, size=(6, 4)).transpose(0, 2, 1)
+        inverses = np.linalg.inv(stack)
+        batched = one_norm_condition_estimate(stack, inverses)
+        for index in range(stack.shape[0]):
+            scalar = one_norm_condition_estimate(stack[index], inverses[index])
+            assert float(batched[index]) == pytest.approx(float(scalar))
+
+    def test_bounds_two_norm_condition_within_factor_n(self):
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            matrix = rng.dirichlet(np.ones(5), size=5).T
+            estimate = float(one_norm_condition_estimate(matrix, np.linalg.inv(matrix)))
+            cond2 = condition_number(matrix)
+            assert estimate / 5.0 <= cond2 * (1 + 1e-9)
+            assert cond2 / 5.0 <= estimate * (1 + 1e-9)
+
+
+def _near_singular_stochastic(t: float) -> np.ndarray:
+    """Column-stochastic matrix whose second column is a ``t``-blend away from
+    the first — near-singular for tiny ``t``."""
+    base = np.array([0.5, 0.3, 0.2])
+    other = np.array([0.2, 0.5, 0.3])
+    matrix = np.column_stack([base, (1 - t) * base + t * other, [0.1, 0.1, 0.8]])
+    return matrix / matrix.sum(axis=0)
+
+
+class TestDivergenceBandRegression:
+    """The former 1-norm/2-norm divergence band (PR 1's documented wart).
+
+    The batch path always classified by the 1-norm estimate while the scalar
+    path used the SVD 2-norm condition number; the two bound each other only
+    within a factor of ``n``, so matrices whose estimates straddle the
+    condition limit were classified differently.  Classification is now
+    unified on the 1-norm estimate, so every path must agree for every matrix
+    — in particular inside the band.
+    """
+
+    BLENDS = np.geomspace(1e-13, 1e-10, 60)
+
+    def _band_matrices(self):
+        found = []
+        for t in self.BLENDS:
+            matrix = _near_singular_stochastic(float(t))
+            try:
+                estimate = float(
+                    one_norm_condition_estimate(matrix, np.linalg.inv(matrix))
+                )
+            except np.linalg.LinAlgError:
+                continue
+            if (condition_number(matrix) < DEFAULT_CONDITION_LIMIT) != (
+                estimate < DEFAULT_CONDITION_LIMIT
+            ):
+                found.append(matrix)
+        return found
+
+    def test_band_is_nonempty(self):
+        # Guard: the scan actually produces matrices where the old scalar
+        # (2-norm) rule and the batch (1-norm) rule disagree.
+        assert self._band_matrices()
+
+    def test_scalar_and_batch_agree_inside_the_band(self):
+        for matrix in self._band_matrices():
+            scalar = is_invertible(matrix)
+            _, invertible = batched_safe_inverses(matrix[None])
+            assert scalar == bool(invertible[0])
+            if scalar:
+                safe_inverse(matrix)
+            else:
+                with pytest.raises(SingularMatrixError):
+                    safe_inverse(matrix)
+
+    def test_scalar_and_batch_agree_across_the_whole_scan(self):
+        stack = np.stack([_near_singular_stochastic(float(t)) for t in self.BLENDS])
+        _, invertible = batched_safe_inverses(stack)
+        for index in range(stack.shape[0]):
+            assert bool(invertible[index]) == is_invertible(stack[index])
 
 
 class TestBatchedSafeInverses:
