@@ -1,0 +1,152 @@
+"""Benchmark: pipeline determinism and throughput across workers and cache.
+
+The downstream-mining pipeline fans ``(scheme, seed, miner)`` cells out over
+a process pool with a content-addressed cell cache.  Its acceptance property
+is **byte-determinism**: the same spec must produce byte-identical aggregate
+documents serially, in parallel, and from a warm cache.  This benchmark
+asserts that everywhere, measures the parallel speedup on multi-core hosts
+(the cells are independent CPU-bound mining jobs), and measures the
+cache-replay speedup, which does not depend on core count.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_pipeline.py -q -s
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.pipeline import plan_pipeline, run_pipeline
+
+#: The pipeline workload: four disguise strengths, three miners, two seeds.
+DATA = "adult:education"
+SCHEMES = ("warner:0.9", "warner:0.7", "warner:0.45", "warner:0.2")
+MINERS = ("tree", "rules", "distribution")
+N_SEEDS = 2
+N_RECORDS = 12_000
+N_JOBS = 4
+
+#: Required parallel speedup at 4 workers on a >= 4-core host; scaled down
+#: automatically on smaller hosts (a pool cannot beat physics).
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _spec():
+    return plan_pipeline(
+        DATA, schemes=list(SCHEMES), miners=list(MINERS),
+        seeds=range(N_SEEDS), n_records=N_RECORDS,
+    )
+
+
+def measure_pipeline_scaling() -> dict:
+    """Time a cold serial pipeline against a cold 4-worker pipeline."""
+    spec = _spec()
+
+    start = time.perf_counter()
+    serial = run_pipeline(spec, n_jobs=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_pipeline(spec, n_jobs=N_JOBS)
+    parallel_seconds = time.perf_counter() - start
+
+    # The speedup claim is meaningless unless both runs agree byte-for-byte.
+    assert parallel.aggregate_json() == serial.aggregate_json()
+    return {
+        "n_cells": len(spec.tasks()),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+    }
+
+
+def measure_cache_replay() -> dict:
+    """Time a cold pipeline against a fully-cached replay."""
+    spec = _spec()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        start = time.perf_counter()
+        cold = run_pipeline(spec, n_jobs=1, cache_dir=cache_dir)
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = run_pipeline(spec, n_jobs=1, cache_dir=cache_dir)
+        warm_seconds = time.perf_counter() - start
+
+    assert warm.n_cache_hits == len(spec.tasks())
+    assert warm.aggregate_json() == cold.aggregate_json()
+    return {
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds,
+    }
+
+
+def test_pipeline_byte_determinism_across_jobs_and_cache():
+    """The acceptance smoke: byte-identical aggregates across worker counts
+    and warm/cold cache states (asserted inside both measurements)."""
+    scaling_free_spec = _spec()
+    serial = run_pipeline(scaling_free_spec, n_jobs=1)
+    parallel = run_pipeline(scaling_free_spec, n_jobs=2)
+    assert parallel.aggregate_json() == serial.aggregate_json()
+    replay = measure_cache_replay()
+    print(
+        f"\npipeline cache replay: cold {replay['cold_seconds']:.2f} s, "
+        f"warm {replay['warm_seconds']:.2f} s, speedup {replay['speedup']:.1f}x"
+    )
+    assert replay["speedup"] >= 3.0
+
+
+def test_pipeline_parallel_speedup():
+    """A cold 4-worker pipeline must beat the serial run on multi-core hosts
+    (bar scaled by available cores, skipped on single-core ones)."""
+    cores = _usable_cores()
+    if cores < 2:
+        pytest.skip(f"host exposes {cores} usable core(s); parallel speedup not measurable")
+    result = measure_pipeline_scaling()
+    print(
+        f"\npipeline scaling ({len(SCHEMES)} schemes x {N_SEEDS} seeds x "
+        f"{len(MINERS)} miners = {result['n_cells']} cells): "
+        f"serial {result['serial_seconds']:.2f} s, {N_JOBS} workers "
+        f"{result['parallel_seconds']:.2f} s, speedup {result['speedup']:.2f}x"
+    )
+    required = MIN_SPEEDUP * min(1.0, (cores / float(N_JOBS)))
+    assert result["speedup"] >= required, (
+        f"pipeline speedup {result['speedup']:.2f}x at {N_JOBS} workers on "
+        f"{cores} cores is below the required {required:.2f}x"
+    )
+
+
+def main() -> None:
+    scaling = measure_pipeline_scaling()
+    print(
+        f"pipeline scaling   cells={scaling['n_cells']}  "
+        f"serial={scaling['serial_seconds']:6.2f} s  "
+        f"jobs={N_JOBS}: {scaling['parallel_seconds']:6.2f} s  "
+        f"speedup={scaling['speedup']:5.2f}x  "
+        f"(usable cores: {_usable_cores()})"
+    )
+    replay = measure_cache_replay()
+    print(
+        f"pipeline cache     cold={replay['cold_seconds']:6.2f} s  "
+        f"warm={replay['warm_seconds']:6.2f} s  speedup={replay['speedup']:5.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,14 @@
 """Privacy-preserving decision-tree building on RR-disguised data.
 
 Follows the Du & Zhan-style scenario from the paper's related work: build a
-classifier for a survey outcome when the predictive attributes arrive only in
+classifier for a survey outcome when the predictive attribute arrives only in
 randomized (disguised) form.  The split criterion works on distributions
 reconstructed with the inversion estimator rather than on raw counts.
+
+This example drives the scenario through the end-to-end pipeline API
+(``repro.pipeline``): one declarative spec sweeps several disguise strengths,
+fans out over seeds, and reports how tree accuracy degrades as privacy
+rises.  It then drills into a single scheme to print the reconstructed tree.
 
 Run with::
 
@@ -14,39 +19,24 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import warner_matrix
-from repro.data.dataset import CategoricalDataset
+from repro.analysis.report import format_pipeline_table
+from repro.data.workload import (
+    CLASS_ATTRIBUTE,
+    CONTEXT_ATTRIBUTE,
+    SENSITIVE_ATTRIBUTE,
+    build_workload,
+)
 from repro.mining.decision_tree import DecisionTreeBuilder, DecisionTreeNode
-from repro.rr.randomize import randomize_dataset
+from repro.pipeline import disguise_workload, plan_pipeline, run_pipeline
+from repro.rr.schemes import warner_matrix
+
+DATA = "adult:education"
+N_RECORDS = 12_000
 
 
-def build_dataset(n_records: int, seed: int) -> CategoricalDataset:
-    """Synthetic loan-approval data: approval depends on income and savings."""
-    rng = np.random.default_rng(seed)
-    income = rng.choice(3, size=n_records, p=[0.4, 0.4, 0.2])          # low/mid/high
-    savings = rng.choice(2, size=n_records, p=[0.65, 0.35])            # low/high
-    employment = rng.choice(2, size=n_records, p=[0.7, 0.3])           # employed/self
-    approve_probability = 0.1 + 0.3 * income + 0.25 * savings
-    approved = (rng.random(n_records) < approve_probability).astype(np.int64)
-    return CategoricalDataset.from_columns(
-        {
-            "income": income,
-            "savings": savings,
-            "employment": employment,
-            "approved": approved,
-        },
-        {
-            "income": ("low", "mid", "high"),
-            "savings": ("low", "high"),
-            "employment": ("employed", "self-employed"),
-            "approved": ("no", "yes"),
-        },
-    )
-
-
-def print_tree(node: DecisionTreeNode, dataset: CategoricalDataset, indent: str = "") -> None:
+def print_tree(node: DecisionTreeNode, workload, indent: str = "") -> None:
     """Pretty-print the reconstructed tree."""
-    class_labels = dataset.attribute("approved").categories
+    class_labels = workload.dataset.attribute(CLASS_ATTRIBUTE).categories
     if node.is_leaf:
         distribution = ", ".join(
             f"{label}={probability:.2f}"
@@ -54,39 +44,47 @@ def print_tree(node: DecisionTreeNode, dataset: CategoricalDataset, indent: str 
         )
         print(f"{indent}leaf -> predict {class_labels[node.predicted_class]!r} ({distribution})")
         return
-    labels = dataset.attribute(node.split_attribute).categories
+    labels = workload.dataset.attribute(node.split_attribute).categories
     print(f"{indent}split on {node.split_attribute!r}")
     for code, child in sorted(node.children.items()):
         print(f"{indent}  {node.split_attribute} = {labels[code]!r}:")
-        print_tree(child, dataset, indent + "    ")
+        print_tree(child, workload, indent + "    ")
 
 
 def main() -> None:
-    n_records = 30_000
-    dataset = build_dataset(n_records, seed=6)
-
-    # The respondents disguise income and savings before submission.
-    matrices = {
-        "income": warner_matrix(3, 0.75),
-        "savings": warner_matrix(2, 0.85),
-    }
-    disguised = randomize_dataset(dataset, matrices, seed=13)
-
-    builder = DecisionTreeBuilder(
-        matrices, class_attribute="approved", max_depth=3, min_information_gain=5e-3
+    # 1. Sweep four disguise strengths through the full pipeline: each scheme
+    #    disguises the education attribute, the tree miner reconstructs the
+    #    split distributions, and accuracy is scored on the original records.
+    spec = plan_pipeline(
+        DATA,
+        schemes=["warner:0.9", "warner:0.7", "warner:0.45", "warner:0.2"],
+        miners=["tree"],
+        seeds=[0, 1],
+        n_records=N_RECORDS,
     )
-    tree = builder.build(disguised)
-
-    print("Decision tree reconstructed from the disguised data:")
-    print_tree(tree, dataset)
+    result = run_pipeline(spec, n_jobs=2)
+    print("Tree accuracy vs disguise strength (cross-seed mean +/- std):")
+    print(format_pipeline_table(result.aggregate_document()))
     print()
 
-    # Evaluate predictions against the (undisguised) ground truth.
-    names = dataset.attribute_names
+    # 2. Drill into one strong disguise: build and print its actual tree.
+    workload = build_workload(DATA, N_RECORDS, seed=0)
+    matrix = warner_matrix(workload.n_categories, 0.45)
+    disguised = disguise_workload(workload, matrix)
+    builder = DecisionTreeBuilder(
+        {SENSITIVE_ATTRIBUTE: matrix}, class_attribute=CLASS_ATTRIBUTE, max_depth=2
+    )
+    tree = builder.build(disguised, [SENSITIVE_ATTRIBUTE, CONTEXT_ATTRIBUTE])
+    print("Decision tree reconstructed from the disguised data (warner:0.45):")
+    print_tree(tree, workload)
+    print()
+
+    # 3. Evaluate its predictions against the undisguised ground truth.
+    names = workload.dataset.attribute_names
     predictions = np.array([
-        tree.predict_one(dict(zip(names, row))) for row in dataset.records
+        tree.predict_one(dict(zip(names, row))) for row in workload.dataset.records
     ])
-    truth = dataset.column("approved")
+    truth = workload.dataset.column(CLASS_ATTRIBUTE)
     accuracy = float(np.mean(predictions == truth))
     majority = float(max(np.mean(truth == 0), np.mean(truth == 1)))
     print(f"Accuracy on the original records: {accuracy:.3f} "

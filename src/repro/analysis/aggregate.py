@@ -27,6 +27,7 @@ from repro.exceptions import ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - avoids an analysis <-> experiments cycle
     from repro.experiments.base import ExperimentResult
+    from repro.pipeline.runner import PipelineResult
 
 #: Format identifier embedded in aggregate documents.
 AGGREGATE_FORMAT_VERSION = 1
@@ -152,6 +153,92 @@ def aggregate_to_document(
             }
             for experiment_id, aggregate in aggregates.items()
         },
+    }
+
+
+def _aggregate_metric_values(values: Sequence[float]) -> MetricAggregate:
+    array = np.asarray(values, dtype=np.float64)
+    return MetricAggregate(
+        mean=float(array.mean()),
+        std=float(array.std()),
+        min=float(array.min()),
+        max=float(array.max()),
+    )
+
+
+def aggregate_pipeline_cells(
+    cells: Sequence[tuple[str, str, int, Mapping[str, float]]],
+) -> dict[str, dict[str, dict[str, MetricAggregate]]]:
+    """Aggregate pipeline cells across seeds.
+
+    ``cells`` are ``(scheme, miner, seed, metrics)`` tuples; the result is a
+    ``{scheme: {miner: {metric: MetricAggregate}}}`` mapping in
+    first-occurrence order.  Only metric keys present in *every* seed of a
+    ``(scheme, miner)`` pair are aggregated (mirroring
+    :func:`aggregate_experiment_runs`); like the campaign aggregation, the
+    reduction is order-deterministic: cells are consumed in the
+    caller-supplied (grid) order.
+    """
+    grouped: dict[tuple[str, str], list[Mapping[str, float]]] = {}
+    order: list[tuple[str, str]] = []
+    for scheme, miner, _seed, metrics in cells:
+        key = (scheme, miner)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(metrics)
+    aggregates: dict[str, dict[str, dict[str, MetricAggregate]]] = {}
+    for scheme, miner in order:
+        runs = grouped[(scheme, miner)]
+        shared: set[str] | None = None
+        for metrics in runs:
+            keys = set(metrics)
+            shared = keys if shared is None else shared & keys
+        per_metric = {
+            metric: _aggregate_metric_values([float(run[metric]) for run in runs])
+            for metric in sorted(shared or ())
+        }
+        aggregates.setdefault(scheme, {})[miner] = per_metric
+    return aggregates
+
+
+def pipeline_aggregate_to_document(
+    result: "PipelineResult",
+    aggregates: Mapping[str, Mapping[str, Mapping[str, MetricAggregate]]],
+) -> dict[str, Any]:
+    """Render a pipeline's cross-seed aggregates as a JSON-compatible
+    ``pipeline_aggregate`` document.
+
+    The per-scheme rows carry the batched privacy/utility evaluation next to
+    the per-miner metric statistics — the per-scheme × per-miner table the
+    paper's end-to-end claim is about.
+    """
+    spec = result.spec
+    evaluation_by_scheme = {item.scheme: item for item in result.evaluations}
+    return {
+        "format_version": AGGREGATE_FORMAT_VERSION,
+        "type": "pipeline_aggregate",
+        "data": spec.data,
+        "n_records": spec.n_records,
+        "n_categories": spec.n_categories,
+        "seeds": list(spec.seeds),
+        "miners": list(spec.miners),
+        "schemes": [
+            {
+                "scheme": scheme.name,
+                "privacy": evaluation_by_scheme[scheme.name].privacy,
+                "utility": evaluation_by_scheme[scheme.name].utility,
+                "max_posterior": evaluation_by_scheme[scheme.name].max_posterior,
+                "miners": {
+                    miner: {
+                        metric: statistic.as_dict()
+                        for metric, statistic in aggregates[scheme.name][miner].items()
+                    }
+                    for miner in spec.miners
+                },
+            }
+            for scheme in spec.schemes
+        ],
     }
 
 

@@ -48,6 +48,50 @@ def format_comparison_table(comparisons: Sequence[FrontComparison]) -> str:
     return "\n".join(lines)
 
 
+#: Metric each miner's column leads with in the pipeline summary table (the
+#: remaining metrics stay available in the aggregate document).
+PIPELINE_HEADLINE_METRICS = ("accuracy", "f1", "l1_error")
+
+
+def format_pipeline_table(aggregate_document: dict) -> str:
+    """Format a ``pipeline_aggregate`` document as a per-scheme summary table.
+
+    One row per scheme (privacy from the batched evaluation), one column per
+    miner showing its headline metric as ``mean +/- std``.  The headline is
+    the first of :data:`PIPELINE_HEADLINE_METRICS` the miner reports,
+    falling back to its alphabetically-first metric.
+    """
+    miners = list(aggregate_document.get("miners", []))
+    rows = aggregate_document.get("schemes", [])
+    if not rows:
+        return "(empty pipeline)"
+    headlines: dict[str, str] = {}
+    for miner in miners:
+        metrics = set()
+        for row in rows:
+            metrics |= set(row["miners"].get(miner, {}))
+        headlines[miner] = next(
+            (name for name in PIPELINE_HEADLINE_METRICS if name in metrics),
+            min(metrics) if metrics else "-",
+        )
+    name_width = max(len("scheme"), *(len(row["scheme"]) for row in rows))
+    header = f"  {'scheme':<{name_width}} {'privacy':>9}"
+    for miner in miners:
+        header += f"  {f'{miner}:{headlines[miner]}':>24}"
+    lines = [header]
+    for row in rows:
+        line = f"  {row['scheme']:<{name_width}} {row['privacy']:>9.4f}"
+        for miner in miners:
+            statistic = row["miners"].get(miner, {}).get(headlines[miner])
+            if statistic is None:
+                cell = "-"
+            else:
+                cell = f"{statistic['mean']:.4f} +/- {statistic['std']:.3f}"
+            line += f"  {cell:>24}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
 def format_paper_vs_measured(
     experiment_id: str,
     paper_claim: str,

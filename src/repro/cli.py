@@ -6,12 +6,16 @@ Usage examples::
     optrr run fig4a --generations 200 --seed 1
     optrr campaign 'fig4*' thm2 --seeds 8 --jobs 4 --cache-dir .campaign-cache
     optrr optimize --distribution gamma --categories 10 --records 10000 --delta 0.75
+    optrr optimize --distribution adult:education --output front.json
+    optrr pipeline --data adult:education --front front.json --miners tree,rules \
+        --seeds 0-4 --jobs 2 --output aggregate.json
     optrr compare-schemes --distribution normal --categories 10
     optrr search-space --categories 10 --grid 100
 
 Exit codes: ``0`` success, ``1`` a paper claim diverged (``run``), ``2`` a
 usage error (unknown experiment, conflicting ``--categories``, rejected
-override, ...) reported on stderr.
+override, unreadable ``--front`` document, ...) reported on stderr.  The
+full reference for every subcommand lives in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -24,17 +28,23 @@ from typing import Sequence
 from repro.analysis.aggregate import format_aggregate_table
 from repro.analysis.front import ParetoFront
 from repro.analysis.plot import ascii_scatter
-from repro.analysis.report import format_front_table
+from repro.analysis.report import format_front_table, format_pipeline_table
 from repro.core.config import OptRRConfig
 from repro.core.optimizer import OptRROptimizer
 from repro.core.search_space import log10_rr_matrix_combinations
-from repro.data.adult import adult_attribute_distribution, adult_attribute_names
 from repro.data.distribution import CategoricalDistribution
-from repro.data.synthetic import make_distribution
-from repro.exceptions import DataError, ExperimentError
+from repro.data.workload import resolve_workload_prior
+from repro.exceptions import DataError, EstimationError, ExperimentError, ValidationError
 from repro.experiments.campaign import CampaignCache, plan_campaign, run_campaign
 from repro.experiments.registry import available_experiments, get_experiment
 from repro.experiments.runner import run_experiment
+from repro.pipeline import (
+    PipelineCache,
+    parse_seed_argument,
+    plan_pipeline,
+    run_pipeline,
+    schemes_from_front,
+)
 from repro.rr.family import scheme_family, family_names
 from repro.metrics.evaluation import MatrixEvaluator
 
@@ -96,6 +106,68 @@ def _build_parser() -> argparse.ArgumentParser:
     optimize_parser.add_argument("--population", type=int, default=40)
     optimize_parser.add_argument("--seed", type=int, default=0)
     optimize_parser.add_argument("--plot", action="store_true")
+    optimize_parser.add_argument(
+        "--output", default=None,
+        help="write the optimization_result JSON document (front + matrices) "
+             "to this path; feed it to `optrr pipeline --front`",
+    )
+
+    pipeline_parser = subparsers.add_parser(
+        "pipeline",
+        help="disguise -> reconstruct -> mine -> score a set of RR schemes",
+    )
+    pipeline_parser.add_argument(
+        "--data", required=True,
+        help="workload data: adult:<attribute> or a synthetic family "
+             "(normal, gamma, uniform, zipf, geometric)",
+    )
+    pipeline_parser.add_argument(
+        "--schemes", default=None,
+        help="comma list of family:parameter schemes (e.g. warner:0.8,up:0.9,frapp:5)",
+    )
+    pipeline_parser.add_argument(
+        "--front", default=None,
+        help="optimization_result JSON document produced by `optrr optimize "
+             "--output`; every front point becomes a scheme",
+    )
+    pipeline_parser.add_argument(
+        "--front-schemes", type=int, default=None,
+        help="thin the front to at most this many evenly-spaced points",
+    )
+    pipeline_parser.add_argument(
+        "--miners", default="tree,rules,distribution",
+        help="comma list of miners (tree, rules, distribution)",
+    )
+    pipeline_parser.add_argument(
+        "--miner-param", action="append", default=[], metavar="MINER:KEY=VALUE",
+        help="override a miner parameter (repeatable), e.g. rules:min_support=0.1",
+    )
+    pipeline_parser.add_argument(
+        "--seeds", default="4",
+        help="seeds as a count (5 -> 0..4), an inclusive range (0-4) or a "
+             "comma list (0,3,7)",
+    )
+    pipeline_parser.add_argument("--records", type=int, default=20_000)
+    pipeline_parser.add_argument(
+        "--categories", type=int, default=None,
+        help=f"domain size for synthetic priors (default {DEFAULT_CATEGORIES}); "
+             "derived from the data for adult:<attribute>",
+    )
+    pipeline_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    pipeline_parser.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed cell cache directory (omit to disable caching)",
+    )
+    pipeline_parser.add_argument(
+        "--output", default=None,
+        help="write the pipeline_aggregate JSON document to this path",
+    )
+    pipeline_parser.add_argument(
+        "--result", default=None,
+        help="write the full per-cell pipeline_result JSON document to this path",
+    )
 
     compare_parser = subparsers.add_parser(
         "compare-schemes", help="compare the classic scheme families on a workload"
@@ -125,22 +197,12 @@ def _fail(message: str) -> int:
 def _resolve_distribution(name: str, n_categories: int | None) -> CategoricalDistribution:
     """Resolve a --distribution argument into a prior.
 
-    For ``adult:<attribute>`` the category count is a property of the data;
-    it is derived from the resolved distribution, and an explicit
-    ``--categories`` that contradicts it raises :class:`DataError` instead of
-    being silently ignored.
+    Delegates to the shared resolver (:func:`repro.data.workload.
+    resolve_workload_prior`): for ``adult:<attribute>`` the category count is
+    a property of the data, and an explicit ``--categories`` that contradicts
+    it raises :class:`DataError` instead of being silently ignored.
     """
-    if name == "adult" or name.startswith("adult:"):
-        attribute = name.split(":", 1)[1] if ":" in name else adult_attribute_names()[0]
-        distribution = adult_attribute_distribution(attribute)
-        if n_categories is not None and n_categories != distribution.n_categories:
-            raise DataError(
-                f"--categories {n_categories} conflicts with adult attribute "
-                f"{attribute!r}, which has {distribution.n_categories} categories; "
-                "omit --categories to derive it from the data"
-            )
-        return distribution
-    return make_distribution(name, n_categories if n_categories is not None else DEFAULT_CATEGORIES)
+    return resolve_workload_prior(name, n_categories, categories_label="--categories")
 
 
 def _command_list() -> int:
@@ -217,6 +279,9 @@ def _command_optimize(args: argparse.Namespace) -> int:
         prior = _resolve_distribution(args.distribution, args.categories)
     except DataError as exc:
         return _fail(str(exc))
+    output_path = Path(args.output) if args.output is not None else None
+    if output_path is not None and not output_path.parent.is_dir():
+        return _fail(f"--output directory {str(output_path.parent)!r} does not exist")
     config = OptRRConfig(
         population_size=args.population,
         archive_size=args.population,
@@ -232,6 +297,118 @@ def _command_optimize(args: argparse.Namespace) -> int:
     low, high = result.privacy_range
     print(f"privacy range: [{low:.4f}, {high:.4f}]  "
           f"({len(result)} Pareto points, {result.n_evaluations} evaluations)")
+    if output_path is not None:
+        from repro.io import save_result
+
+        try:
+            save_result(result, output_path)
+        except OSError as exc:
+            return _fail(f"could not write --output: {exc}")
+        print(f"front written to {args.output}")
+    return 0
+
+
+def _parse_miner_param_arguments(arguments: Sequence[str]) -> dict[str, dict[str, str]]:
+    """Parse repeated ``--miner-param miner:key=value`` overrides."""
+    options: dict[str, dict[str, str]] = {}
+    for argument in arguments:
+        head, separator, value = argument.partition("=")
+        miner, colon, key = head.partition(":")
+        if not separator or not colon or not miner or not key:
+            raise ValidationError(
+                f"--miner-param {argument!r} must have the form miner:key=value"
+            )
+        options.setdefault(miner, {})[key] = value
+    return options
+
+
+def _command_pipeline(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        return _fail("--jobs must be at least 1")
+    if args.schemes is None and args.front is None:
+        return _fail("give --schemes, --front, or both")
+    if args.front is None and args.front_schemes is not None:
+        return _fail("--front-schemes only applies when --front is given")
+    scheme_arguments: list = []
+    if args.schemes is not None:
+        scheme_arguments.extend(
+            part.strip() for part in args.schemes.split(",") if part.strip()
+        )
+    if args.front is not None:
+        from repro.io import load_result
+
+        try:
+            front_result = load_result(args.front)
+        except (OSError, ValueError) as exc:
+            return _fail(f"cannot read --front {args.front!r}: {exc}")
+        try:
+            scheme_arguments.extend(
+                schemes_from_front(front_result, max_schemes=args.front_schemes)
+            )
+        except ValidationError as exc:
+            return _fail(str(exc))
+    miners = [part.strip() for part in args.miners.split(",") if part.strip()]
+    try:
+        seeds = parse_seed_argument(args.seeds)
+        miner_options = _parse_miner_param_arguments(args.miner_param)
+        spec = plan_pipeline(
+            args.data,
+            schemes=scheme_arguments,
+            miners=miners,
+            seeds=seeds,
+            n_records=args.records,
+            n_categories=args.categories,
+            miner_options=miner_options,
+        )
+    except (DataError, ValidationError, EstimationError) as exc:
+        return _fail(str(exc))
+    # The plan is valid; now fail on bad destinations, still before the
+    # (potentially long) grid runs.
+    destinations = {}
+    for option in ("output", "result"):
+        raw = getattr(args, option)
+        if raw is None:
+            continue
+        path = Path(raw)
+        if not path.parent.is_dir():
+            return _fail(f"--{option} directory {str(path.parent)!r} does not exist")
+        if path.is_dir():
+            return _fail(f"--{option} {raw!r} is an existing directory")
+        destinations[option] = path
+    if args.cache_dir is not None:
+        try:
+            PipelineCache(args.cache_dir)
+        except OSError as exc:
+            return _fail(f"--cache-dir {args.cache_dir!r} is unusable: {exc}")
+    try:
+        result = run_pipeline(spec, n_jobs=args.jobs, cache_dir=args.cache_dir)
+    except (ValidationError, DataError, EstimationError) as exc:
+        # Cell-time failures (e.g. an estimation method the miner only
+        # validates when it runs) surface as the documented exit-2 error
+        # line, not a traceback — also when re-raised out of a worker pool.
+        return _fail(str(exc))
+    print(
+        f"pipeline: {len(spec.schemes)} scheme(s) x {len(spec.seeds)} seed(s) x "
+        f"{len(spec.miners)} miner(s) = {len(result.cells)} cell(s), "
+        f"{result.n_cache_hits} from cache, {args.jobs} worker(s)"
+    )
+    aggregate_document = result.aggregate_document()
+    print(format_pipeline_table(aggregate_document))
+    from repro.io import dump_canonical_json
+
+    try:
+        if "output" in destinations:
+            destinations["output"].write_text(
+                dump_canonical_json(aggregate_document) + "\n", encoding="utf-8"
+            )
+            print(f"aggregate written to {args.output}")
+        if "result" in destinations:
+            destinations["result"].write_text(
+                dump_canonical_json(result.result_document()) + "\n", encoding="utf-8"
+            )
+            print(f"result table written to {args.result}")
+    except OSError as exc:
+        return _fail(f"could not write output document: {exc}")
     return 0
 
 
@@ -270,6 +447,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_campaign(args)
     if args.command == "optimize":
         return _command_optimize(args)
+    if args.command == "pipeline":
+        return _command_pipeline(args)
     if args.command == "compare-schemes":
         return _command_compare_schemes(args)
     if args.command == "search-space":

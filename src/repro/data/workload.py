@@ -1,0 +1,156 @@
+"""Mining workloads: datasets with a sensitive attribute and a dependent label.
+
+The downstream-mining pipeline (:mod:`repro.pipeline`) measures how much
+data-mining utility survives the RR disguise.  That question is only
+meaningful on data where there is something to mine: the class label must
+actually depend on the sensitive attribute, so that disguising the attribute
+degrades — and reconstruction recovers — a real pattern.
+
+:func:`build_workload` therefore samples the sensitive attribute from a
+configurable prior (an Adult-like marginal or a synthetic family) and derives
+
+* a binary ``outcome`` label whose positive rate increases linearly with the
+  sensitive category code (planted signal for the decision-tree and
+  association miners), and
+* an independent ``context`` attribute (pure noise, so miners must *not*
+  pick it up).
+
+The construction is fully deterministic given ``(data spec, n_records,
+seed)`` — the pipeline's caching and cross-worker determinism guarantees
+build on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.adult import adult_attribute_distribution, adult_attribute_names
+from repro.data.dataset import CategoricalAttribute, CategoricalDataset
+from repro.data.distribution import CategoricalDistribution
+from repro.data.synthetic import make_distribution
+from repro.exceptions import DataError
+from repro.utils.validation import check_positive_int
+
+#: Name of the disguised attribute in every workload dataset.
+SENSITIVE_ATTRIBUTE = "sensitive"
+
+#: Name of the (undisguised) class attribute the tree miner predicts.
+CLASS_ATTRIBUTE = "outcome"
+
+#: Name of the independent noise attribute.
+CONTEXT_ATTRIBUTE = "context"
+
+#: Positive rate of the outcome for the lowest / highest sensitive code; the
+#: rate interpolates linearly in between (the planted monotone signal).
+OUTCOME_BASE_RATE = 0.15
+OUTCOME_TOP_RATE = 0.85
+
+#: Domain size of the context noise attribute.
+N_CONTEXT_CATEGORIES = 3
+
+
+@dataclass(frozen=True)
+class MiningWorkload:
+    """One mining workload: the clean dataset plus its generating prior.
+
+    Attributes
+    ----------
+    data:
+        The data specification string the workload was built from
+        (``adult:<attribute>`` or a synthetic family name).
+    dataset:
+        The clean (undisguised) dataset with attributes
+        ``(sensitive, context, outcome)``.
+    prior:
+        The prior the sensitive attribute was sampled from.
+    seed:
+        The seed the records were sampled under.
+    """
+
+    data: str
+    dataset: CategoricalDataset
+    prior: CategoricalDistribution
+    seed: int
+
+    @property
+    def n_records(self) -> int:
+        """Number of records in the workload dataset."""
+        return self.dataset.n_records
+
+    @property
+    def n_categories(self) -> int:
+        """Domain size of the sensitive attribute."""
+        return self.prior.n_categories
+
+
+def resolve_workload_prior(
+    data: str,
+    n_categories: int | None = None,
+    *,
+    categories_label: str = "n_categories",
+) -> CategoricalDistribution:
+    """Resolve a data specification into a prior.
+
+    ``adult:<attribute>`` resolves to the Adult-like marginal of that
+    attribute (the category count is a property of the data; an explicit
+    conflicting ``n_categories`` raises :class:`DataError`).  Any other name
+    is a synthetic family (``normal``, ``gamma``, ``uniform``, ``zipf``,
+    ``geometric``) resolved with :func:`~repro.data.synthetic.make_distribution`.
+
+    This is the single resolution path shared by the pipeline and the CLI
+    (``--distribution`` / ``--data``); ``categories_label`` names the
+    conflicting knob in the error message (``--categories`` for the CLI).
+    """
+    if data == "adult" or data.startswith("adult:"):
+        attribute = data.split(":", 1)[1] if ":" in data else adult_attribute_names()[0]
+        prior = adult_attribute_distribution(attribute)
+        if n_categories is not None and n_categories != prior.n_categories:
+            raise DataError(
+                f"{categories_label} {n_categories} conflicts with adult attribute "
+                f"{attribute!r}, which has {prior.n_categories} categories; "
+                f"omit {categories_label} to derive it from the data"
+            )
+        return prior
+    return make_distribution(data, n_categories if n_categories is not None else 10)
+
+
+def build_workload(
+    data: str,
+    n_records: int,
+    seed: int,
+    *,
+    n_categories: int | None = None,
+) -> MiningWorkload:
+    """Build the deterministic mining workload for ``(data, n_records, seed)``.
+
+    The sensitive attribute is sampled i.i.d. from the resolved prior; the
+    outcome label is Bernoulli with success probability interpolating from
+    :data:`OUTCOME_BASE_RATE` (lowest sensitive code) to
+    :data:`OUTCOME_TOP_RATE` (highest); the context attribute is uniform
+    noise.  All randomness derives from ``np.random.default_rng(seed)`` in a
+    fixed draw order, so the same inputs always produce identical records.
+    """
+    check_positive_int(n_records, "n_records")
+    prior = resolve_workload_prior(data, n_categories)
+    n = prior.n_categories
+    rng = np.random.default_rng(int(seed))
+    sensitive = rng.choice(n, size=n_records, p=prior.probabilities)
+    positive_rate = OUTCOME_BASE_RATE + (OUTCOME_TOP_RATE - OUTCOME_BASE_RATE) * (
+        sensitive / (n - 1)
+    )
+    outcome = (rng.random(n_records) < positive_rate).astype(np.int64)
+    context = rng.integers(0, N_CONTEXT_CATEGORIES, size=n_records)
+    attributes = (
+        CategoricalAttribute(SENSITIVE_ATTRIBUTE, prior.categories or tuple(
+            f"c{i + 1}" for i in range(n)
+        )),
+        CategoricalAttribute(
+            CONTEXT_ATTRIBUTE, tuple(f"ctx{i + 1}" for i in range(N_CONTEXT_CATEGORIES))
+        ),
+        CategoricalAttribute(CLASS_ATTRIBUTE, ("no", "yes")),
+    )
+    records = np.column_stack([sensitive.astype(np.int64), context, outcome])
+    dataset = CategoricalDataset(attributes, records)
+    return MiningWorkload(data=data, dataset=dataset, prior=prior, seed=int(seed))

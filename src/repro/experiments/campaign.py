@@ -31,9 +31,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
@@ -46,6 +43,7 @@ from repro.analysis.aggregate import (
 )
 from repro.exceptions import ExperimentError, ReproError
 from repro.experiments.base import ExperimentResult, environment_override_defaults
+from repro.experiments.grid import DocumentCache, execute_grid
 from repro.experiments.registry import find_experiments, get_experiment
 from repro.io import (
     dump_canonical_json,
@@ -158,59 +156,42 @@ def plan_campaign(
     )
 
 
-class CampaignCache:
+class CampaignCache(DocumentCache):
     """Content-addressed on-disk store of ``experiment_result`` documents.
 
-    One JSON file per task, named by the task's cache key.  Writes go through
-    a temporary file plus :func:`os.replace` so concurrent campaigns sharing
-    a cache directory never observe partial documents.
+    A :class:`~repro.experiments.grid.DocumentCache` keyed by
+    :meth:`CampaignTask.cache_key`, with task-level convenience wrappers.
     """
 
     def __init__(self, directory: str | Path) -> None:
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        super().__init__(directory, document_type="experiment_result")
 
     def path_for(self, task: CampaignTask) -> Path:
         """Where ``task``'s result document lives (whether or not it exists)."""
-        return self.directory / f"{task.cache_key()}.json"
+        return self.path_for_key(task.cache_key())
 
     def load_result(self, task: CampaignTask) -> ExperimentResult | None:
         """Return the cached result for ``task``, or None on a miss.
 
         Unreadable, mistyped or structurally invalid entries count as misses
         (the task simply re-runs and overwrites them) — a result is only
-        returned if the entry deserializes into a full experiment result,
-        which happens exactly once per hit.
+        returned if the entry deserializes into a full experiment result.
         """
-        path = self.path_for(task)
-        try:
-            document = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+        document = self.load_document(task.cache_key())
+        if document is None:
             return None
-        if not isinstance(document, dict) or document.get("type") != "experiment_result":
-            return None
-        try:
-            return experiment_result_from_dict(document)
-        except (ReproError, KeyError, TypeError, ValueError):
-            return None
+        return _parse_experiment_document(document)
 
     def store(self, task: CampaignTask, document: dict[str, Any]) -> Path:
         """Atomically write ``task``'s result document and return its path."""
-        path = self.path_for(task)
-        descriptor, temporary = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                handle.write(dump_canonical_json(document))
-            os.replace(temporary, path)
-        except BaseException:
-            try:
-                os.unlink(temporary)
-            except OSError:
-                pass
-            raise
-        return path
+        return self.store_document(task.cache_key(), document)
+
+
+def _parse_experiment_document(document: dict[str, Any]) -> ExperimentResult | None:
+    try:
+        return experiment_result_from_dict(document)
+    except (ReproError, KeyError, TypeError, ValueError):
+        return None
 
 
 @dataclass(frozen=True)
@@ -322,49 +303,23 @@ def run_campaign(
         spec = plan_campaign(patterns_or_spec, seeds, overrides)
     tasks = spec.tasks()
     cache = CampaignCache(cache_dir) if cache_dir is not None else None
-
-    results: dict[int, ExperimentResult] = {}
-    from_cache: dict[int, bool] = {}
-    pending: list[int] = []
-    for index, task in enumerate(tasks):
-        cached = cache.load_result(task) if cache is not None else None
-        if cached is not None:
-            results[index] = cached
-            from_cache[index] = True
-            if on_task_done is not None:
-                on_task_done(task, True)
-        else:
-            pending.append(index)
-
-    if pending:
-        logger.info(
-            "campaign: running %d/%d tasks (%d cache hits) on %d worker(s)",
-            len(pending), len(tasks), len(tasks) - len(pending), max(1, n_jobs),
-        )
-    if n_jobs <= 1 or len(pending) <= 1:
-        for index in pending:
-            _finish_task(tasks, index, _execute_task(_payload(tasks[index])),
-                         results, from_cache, cache, on_task_done)
-    else:
-        with ProcessPoolExecutor(max_workers=min(n_jobs, len(pending))) as executor:
-            futures = {
-                executor.submit(_execute_task, _payload(tasks[index])): index
-                for index in pending
-            }
-            try:
-                for future in as_completed(futures):
-                    _finish_task(tasks, futures[future], future.result(),
-                                 results, from_cache, cache, on_task_done)
-            except BaseException:
-                # Fail fast: without this, the executor shutdown would run
-                # every still-queued task to completion before re-raising.
-                for queued in futures:
-                    queued.cancel()
-                raise
-
+    outcomes = execute_grid(
+        payloads=[_payload(task) for task in tasks],
+        worker=_execute_task,
+        parse=experiment_result_from_dict,
+        keys=[task.cache_key() for task in tasks],
+        cache=cache,
+        n_jobs=n_jobs,
+        on_task_done=(
+            None
+            if on_task_done is None
+            else lambda index, cached: on_task_done(tasks[index], cached)
+        ),
+        label="campaign",
+    )
     records = tuple(
-        CampaignRunRecord(task=task, result=results[index], from_cache=from_cache[index])
-        for index, task in enumerate(tasks)
+        CampaignRunRecord(task=task, result=outcome.value, from_cache=outcome.from_cache)
+        for task, outcome in zip(tasks, outcomes)
     )
     aggregates = aggregate_campaign_runs(
         [(record.task.experiment_id, record.task.seed, record.result) for record in records]
@@ -374,22 +329,3 @@ def run_campaign(
 
 def _payload(task: CampaignTask) -> tuple[str, int, tuple[tuple[str, Any], ...]]:
     return (task.experiment_id, task.seed, task.overrides)
-
-
-def _finish_task(
-    tasks: tuple[CampaignTask, ...],
-    index: int,
-    document: dict[str, Any],
-    results: dict[int, ExperimentResult],
-    from_cache: dict[int, bool],
-    cache: CampaignCache | None,
-    on_task_done: Callable[[CampaignTask, bool], None] | None,
-) -> None:
-    # Freshly-computed results also pass through the canonical document, so a
-    # later cache replay is bit-for-bit the same data as this run.
-    results[index] = experiment_result_from_dict(document)
-    from_cache[index] = False
-    if cache is not None:
-        cache.store(tasks[index], document)
-    if on_task_done is not None:
-        on_task_done(tasks[index], False)

@@ -1,0 +1,223 @@
+"""Generic content-addressed grid execution.
+
+Both orchestration subsystems — multi-seed experiment campaigns
+(:mod:`repro.experiments.campaign`) and downstream-mining pipelines
+(:mod:`repro.pipeline`) — share the same execution shape: a deterministic
+grid of independent tasks, each fully described by a JSON-compatible payload,
+executed serially or across a :class:`~concurrent.futures.ProcessPoolExecutor`,
+with per-task results stored in a content-addressed on-disk cache as canonical
+JSON documents.  This module factors that shape out so every grid-shaped
+workload gets the same guarantees:
+
+* **Order independence.**  Results are collected by grid position, never by
+  completion order, so worker count cannot change the outcome.
+* **Cache/fresh interchangeability.**  Fresh results round-trip through the
+  same canonical document that the cache stores, so a cached replay is
+  bit-for-bit the same data as a cold run.
+* **Fail-fast.**  A failing task cancels the still-queued remainder of the
+  grid instead of running it to completion first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+class DocumentCache:
+    """Content-addressed on-disk store of canonical JSON documents.
+
+    One JSON file per key, named ``<key>.json``.  Writes go through a
+    temporary file plus :func:`os.replace` so concurrent processes sharing a
+    cache directory never observe partial documents.
+
+    Parameters
+    ----------
+    directory:
+        Cache directory; created (with parents) when missing.
+    document_type:
+        Expected ``type`` field of stored documents.  Entries with any other
+        type count as misses, so unrelated caches can never cross-replay.
+    """
+
+    def __init__(self, directory: str | Path, *, document_type: str) -> None:
+        self.directory = Path(directory)
+        self.document_type = document_type
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for_key(self, key: str) -> Path:
+        """Where the document for ``key`` lives (whether or not it exists)."""
+        return self.directory / f"{key}.json"
+
+    def load_document(self, key: str) -> dict[str, Any] | None:
+        """Return the cached document for ``key``, or None on a miss.
+
+        Unreadable or mistyped entries count as misses (the task simply
+        re-runs and overwrites them).
+        """
+        try:
+            document = json.loads(self.path_for_key(key).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(document, dict) or document.get("type") != self.document_type:
+            return None
+        return document
+
+    def store_document(self, key: str, document: dict[str, Any]) -> Path:
+        """Atomically write ``key``'s document (canonical JSON) and return
+        its path."""
+        path = self.path_for_key(key)
+        descriptor, temporary = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(document, indent=2, sort_keys=True))
+            os.replace(temporary, path)
+        except BaseException:
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+@dataclass(frozen=True)
+class GridOutcome:
+    """One executed grid cell.
+
+    Attributes
+    ----------
+    value:
+        The parsed task result (whatever ``parse`` returned).
+    document:
+        The canonical JSON document the result round-tripped through.
+    from_cache:
+        Whether the result was replayed from the cache.
+    """
+
+    value: Any
+    document: dict[str, Any]
+    from_cache: bool
+
+
+def execute_grid(
+    payloads: Sequence[Any],
+    worker: Callable[[Any], dict[str, Any]],
+    *,
+    parse: Callable[[dict[str, Any]], Any],
+    keys: Sequence[str] | None = None,
+    cache: DocumentCache | None = None,
+    n_jobs: int = 1,
+    on_task_done: Callable[[int, bool], None] | None = None,
+    label: str = "grid",
+) -> list[GridOutcome]:
+    """Run a grid of independent tasks, in parallel when ``n_jobs > 1``.
+
+    Parameters
+    ----------
+    payloads:
+        One JSON/pickle-compatible payload per grid cell, in canonical grid
+        order.  ``worker(payload)`` must return the cell's canonical result
+        document (plain JSON-compatible data).
+    worker:
+        Module-level callable executing one cell (pickled by reference when
+        ``n_jobs > 1``).
+    parse:
+        Deserializer applied to every document — cached and fresh alike — so
+        both paths return identical values.  When a *cached* document fails
+        to parse (raises or returns None) the entry counts as a miss and the
+        cell re-runs; a fresh document failing to parse is a programming
+        error and propagates.
+    keys:
+        Cache key per cell (required when ``cache`` is given).
+    cache:
+        Content-addressed document cache; ``None`` disables caching.
+    n_jobs:
+        Worker processes; ``1`` runs everything in this process.
+    on_task_done:
+        Optional progress callback invoked as ``(index, from_cache)`` when
+        each cell finishes (completion order).
+    label:
+        Human-readable workload name used in log lines.
+
+    Returns
+    -------
+    list[GridOutcome]
+        One outcome per payload, in grid order — independent of completion
+        order, worker count and cache state.
+    """
+    if cache is not None and keys is None:
+        raise ValueError("keys are required when a cache is given")
+    if keys is not None and len(keys) != len(payloads):
+        raise ValueError(f"{len(payloads)} payloads but {len(keys)} keys")
+
+    values: dict[int, Any] = {}
+    documents: dict[int, dict[str, Any]] = {}
+    from_cache: dict[int, bool] = {}
+    pending: list[int] = []
+    for index in range(len(payloads)):
+        cached = cache.load_document(keys[index]) if cache is not None else None
+        if cached is not None:
+            try:
+                value = parse(cached)
+            except Exception:
+                value = None
+            if value is not None:
+                values[index] = value
+                documents[index] = cached
+                from_cache[index] = True
+                if on_task_done is not None:
+                    on_task_done(index, True)
+                continue
+        pending.append(index)
+
+    def finish(index: int, document: dict[str, Any]) -> None:
+        # Fresh results also pass through the canonical document, so a later
+        # cache replay is bit-for-bit the same data as this run.
+        values[index] = parse(document)
+        documents[index] = document
+        from_cache[index] = False
+        if cache is not None:
+            cache.store_document(keys[index], document)
+        if on_task_done is not None:
+            on_task_done(index, False)
+
+    if pending:
+        logger.info(
+            "%s: running %d/%d tasks (%d cache hits) on %d worker(s)",
+            label, len(pending), len(payloads), len(payloads) - len(pending),
+            max(1, n_jobs),
+        )
+    if n_jobs <= 1 or len(pending) <= 1:
+        for index in pending:
+            finish(index, worker(payloads[index]))
+    else:
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(pending))) as executor:
+            futures = {
+                executor.submit(worker, payloads[index]): index for index in pending
+            }
+            try:
+                for future in as_completed(futures):
+                    finish(futures[future], future.result())
+            except BaseException:
+                # Fail fast: without this, the executor shutdown would run
+                # every still-queued task to completion before re-raising.
+                for queued in futures:
+                    queued.cancel()
+                raise
+
+    return [
+        GridOutcome(value=values[index], document=documents[index], from_cache=from_cache[index])
+        for index in range(len(payloads))
+    ]

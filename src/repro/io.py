@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.analysis.compare import FrontComparison
     from repro.analysis.front import ParetoFront
     from repro.experiments.base import ExperimentResult
+    from repro.pipeline.runner import PipelineResult
 
 #: Format identifier embedded in every serialized document.
 FORMAT_VERSION = 1
@@ -224,6 +225,117 @@ def experiment_result_from_dict(document: dict[str, Any]) -> "ExperimentResult":
             key: float(value) for key, value in document.get("metrics", {}).items()
         },
     )
+
+
+def pipeline_result_to_dict(result: "PipelineResult") -> dict[str, Any]:
+    """Serialize a pipeline result (spec, scheme evaluations, cell table).
+
+    This is the ``pipeline_result`` document type: the per-scheme ×
+    per-miner × per-seed metric table produced by
+    :func:`repro.pipeline.run_pipeline`, with every scheme's full RR matrix
+    embedded so the run is reproducible from the document alone.
+    """
+    spec = result.spec
+    evaluation_by_scheme = {item.scheme: item for item in result.evaluations}
+    return {
+        "format_version": FORMAT_VERSION,
+        "type": "pipeline_result",
+        "data": spec.data,
+        "n_records": spec.n_records,
+        "n_categories": spec.n_categories,
+        "seeds": list(spec.seeds),
+        "miners": list(spec.miners),
+        "miner_params": {
+            miner: dict(items) for miner, items in spec.miner_params
+        },
+        "schemes": [
+            {
+                "name": scheme.name,
+                "matrix": matrix_to_dict(scheme.matrix),
+                "privacy": evaluation_by_scheme[scheme.name].privacy,
+                "utility": evaluation_by_scheme[scheme.name].utility,
+                "max_posterior": evaluation_by_scheme[scheme.name].max_posterior,
+                "invertible": evaluation_by_scheme[scheme.name].invertible,
+            }
+            for scheme in spec.schemes
+        ],
+        "cells": [
+            {
+                "scheme": cell.scheme,
+                "seed": cell.seed,
+                "miner": cell.miner,
+                "metrics": {key: float(value) for key, value in sorted(cell.metrics.items())},
+            }
+            for cell in result.cells
+        ],
+    }
+
+
+def pipeline_result_from_dict(document: dict[str, Any]) -> "PipelineResult":
+    """Deserialize a pipeline result from :func:`pipeline_result_to_dict`
+    output (cache provenance flags reset — a loaded document no longer knows
+    which cells were cache hits)."""
+    from repro.pipeline.runner import (
+        PipelineCellRecord,
+        PipelineResult,
+        SchemeEvaluation,
+    )
+    from repro.pipeline.spec import PipelineScheme, PipelineSpec
+
+    _check_document(document, "pipeline_result")
+    schemes = tuple(
+        PipelineScheme(name=str(item["name"]), matrix=matrix_from_dict(item["matrix"]))
+        for item in document.get("schemes", [])
+    )
+    evaluations = tuple(
+        SchemeEvaluation(
+            scheme=str(item["name"]),
+            privacy=float(item["privacy"]),
+            utility=float(item["utility"]),
+            max_posterior=float(item["max_posterior"]),
+            invertible=bool(item.get("invertible", True)),
+        )
+        for item in document.get("schemes", [])
+    )
+    miner_params = tuple(
+        (str(miner), tuple(sorted(dict(params).items())))
+        for miner, params in document.get("miner_params", {}).items()
+    )
+    raw_categories = document.get("n_categories")
+    spec = PipelineSpec(
+        data=str(document["data"]),
+        n_records=int(document["n_records"]),
+        n_categories=int(raw_categories) if raw_categories is not None else None,
+        schemes=schemes,
+        miners=tuple(str(miner) for miner in document.get("miners", [])),
+        seeds=tuple(int(seed) for seed in document.get("seeds", [])),
+        miner_params=miner_params,
+    )
+    cells = tuple(
+        PipelineCellRecord(
+            scheme=str(item["scheme"]),
+            seed=int(item["seed"]),
+            miner=str(item["miner"]),
+            metrics={key: float(value) for key, value in item.get("metrics", {}).items()},
+            from_cache=False,
+        )
+        for item in document.get("cells", [])
+    )
+    return PipelineResult(spec=spec, evaluations=evaluations, cells=cells)
+
+
+def save_pipeline_result(result: "PipelineResult", path: str | Path) -> Path:
+    """Write a pipeline result to a canonical-JSON file and return the path."""
+    path = Path(path)
+    path.write_text(dump_canonical_json(pipeline_result_to_dict(result)), encoding="utf-8")
+    return path
+
+
+def load_pipeline_result(path: str | Path) -> "PipelineResult":
+    """Read a pipeline result from a JSON file written by
+    :func:`save_pipeline_result`."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    return pipeline_result_from_dict(document)
 
 
 def dump_canonical_json(document: dict[str, Any]) -> str:

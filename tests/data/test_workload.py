@@ -1,0 +1,80 @@
+"""Tests for the mining-workload builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.workload import (
+    CLASS_ATTRIBUTE,
+    CONTEXT_ATTRIBUTE,
+    SENSITIVE_ATTRIBUTE,
+    build_workload,
+    resolve_workload_prior,
+)
+from repro.exceptions import DataError
+
+
+class TestResolveWorkloadPrior:
+    def test_adult_attribute_resolves_to_its_marginal(self):
+        prior = resolve_workload_prior("adult:education")
+        assert prior.n_categories == 10
+
+    def test_adult_conflicting_categories_rejected(self):
+        with pytest.raises(DataError, match="conflicts"):
+            resolve_workload_prior("adult:sex", 10)
+
+    def test_adult_matching_categories_accepted(self):
+        assert resolve_workload_prior("adult:sex", 2).n_categories == 2
+
+    def test_synthetic_family_with_default_categories(self):
+        assert resolve_workload_prior("normal").n_categories == 10
+
+    def test_synthetic_family_with_explicit_categories(self):
+        assert resolve_workload_prior("zipf", 6).n_categories == 6
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(DataError):
+            resolve_workload_prior("not-a-family")
+
+
+class TestBuildWorkload:
+    def test_schema_and_shape(self):
+        workload = build_workload("normal", 500, 0, n_categories=6)
+        assert workload.dataset.attribute_names == (
+            SENSITIVE_ATTRIBUTE, CONTEXT_ATTRIBUTE, CLASS_ATTRIBUTE,
+        )
+        assert workload.n_records == 500
+        assert workload.n_categories == 6
+        assert workload.dataset.attribute(CLASS_ATTRIBUTE).n_categories == 2
+
+    def test_deterministic_given_seed(self):
+        first = build_workload("adult:education", 400, 7)
+        second = build_workload("adult:education", 400, 7)
+        np.testing.assert_array_equal(first.dataset.records, second.dataset.records)
+
+    def test_different_seeds_differ(self):
+        first = build_workload("normal", 400, 0)
+        second = build_workload("normal", 400, 1)
+        assert not np.array_equal(first.dataset.records, second.dataset.records)
+
+    def test_outcome_rate_increases_with_sensitive_code(self):
+        # The planted signal: the positive rate must rise monotonically
+        # enough for the top half to clearly beat the bottom half.
+        workload = build_workload("uniform", 20_000, 3, n_categories=6)
+        sensitive = workload.dataset.column(SENSITIVE_ATTRIBUTE)
+        outcome = workload.dataset.column(CLASS_ATTRIBUTE)
+        low = outcome[sensitive <= 1].mean()
+        high = outcome[sensitive >= 4].mean()
+        assert high > low + 0.3
+
+    def test_context_is_noise(self):
+        workload = build_workload("uniform", 20_000, 3, n_categories=6)
+        context = workload.dataset.column(CONTEXT_ATTRIBUTE)
+        outcome = workload.dataset.column(CLASS_ATTRIBUTE)
+        rates = [outcome[context == code].mean() for code in range(3)]
+        assert max(rates) - min(rates) < 0.05
+
+    def test_rejects_nonpositive_records(self):
+        with pytest.raises(Exception):
+            build_workload("normal", 0, 0)

@@ -1,0 +1,104 @@
+"""Tests for the generic cached-grid executor."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.grid import DocumentCache, execute_grid
+
+
+def _worker(payload):
+    if payload.get("explode"):
+        raise RuntimeError("boom")
+    return {"type": "test_doc", "value": payload["value"] * 2}
+
+
+def _parse(document):
+    return int(document["value"])
+
+
+class TestDocumentCache:
+    def test_store_then_load(self, tmp_path):
+        cache = DocumentCache(tmp_path, document_type="test_doc")
+        cache.store_document("k1", {"type": "test_doc", "value": 4})
+        assert cache.load_document("k1") == {"type": "test_doc", "value": 4}
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = DocumentCache(tmp_path, document_type="test_doc")
+        assert cache.load_document("absent") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = DocumentCache(tmp_path, document_type="test_doc")
+        cache.path_for_key("k").write_text("{not json", encoding="utf-8")
+        assert cache.load_document("k") is None
+
+    def test_wrong_type_is_a_miss(self, tmp_path):
+        cache = DocumentCache(tmp_path, document_type="test_doc")
+        cache.path_for_key("k").write_text(json.dumps({"type": "other"}), encoding="utf-8")
+        assert cache.load_document("k") is None
+
+    def test_writes_are_canonical_json(self, tmp_path):
+        cache = DocumentCache(tmp_path, document_type="test_doc")
+        cache.store_document("k", {"b": 1, "a": 2, "type": "test_doc"})
+        text = cache.path_for_key("k").read_text(encoding="utf-8")
+        assert text == json.dumps({"b": 1, "a": 2, "type": "test_doc"},
+                                  indent=2, sort_keys=True)
+
+
+class TestExecuteGrid:
+    def test_results_in_grid_order(self):
+        payloads = [{"value": v} for v in (5, 1, 9)]
+        outcomes = execute_grid(payloads, _worker, parse=_parse)
+        assert [o.value for o in outcomes] == [10, 2, 18]
+        assert all(not o.from_cache for o in outcomes)
+
+    def test_parallel_matches_serial(self):
+        payloads = [{"value": v} for v in range(6)]
+        serial = execute_grid(payloads, _worker, parse=_parse, n_jobs=1)
+        parallel = execute_grid(payloads, _worker, parse=_parse, n_jobs=2)
+        assert [o.value for o in serial] == [o.value for o in parallel]
+
+    def test_cache_replay(self, tmp_path):
+        cache = DocumentCache(tmp_path, document_type="test_doc")
+        payloads = [{"value": v} for v in (1, 2)]
+        keys = ["a", "b"]
+        cold = execute_grid(payloads, _worker, parse=_parse, keys=keys, cache=cache)
+        warm = execute_grid(payloads, _worker, parse=_parse, keys=keys, cache=cache)
+        assert [o.from_cache for o in cold] == [False, False]
+        assert [o.from_cache for o in warm] == [True, True]
+        assert [o.value for o in warm] == [o.value for o in cold]
+
+    def test_unparseable_cache_entry_reruns(self, tmp_path):
+        cache = DocumentCache(tmp_path, document_type="test_doc")
+        cache.store_document("a", {"type": "test_doc"})  # missing "value"
+        outcomes = execute_grid(
+            [{"value": 3}], _worker, parse=_parse, keys=["a"], cache=cache
+        )
+        assert outcomes[0].value == 6
+        assert not outcomes[0].from_cache
+
+    def test_cache_without_keys_rejected(self, tmp_path):
+        cache = DocumentCache(tmp_path, document_type="test_doc")
+        with pytest.raises(ValueError, match="keys are required"):
+            execute_grid([{"value": 1}], _worker, parse=_parse, cache=cache)
+
+    def test_mismatched_key_count_rejected(self):
+        with pytest.raises(ValueError, match="keys"):
+            execute_grid([{"value": 1}], _worker, parse=_parse, keys=["a", "b"])
+
+    def test_worker_failure_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            execute_grid([{"value": 1, "explode": True}], _worker, parse=_parse)
+
+    def test_progress_callback_sees_every_cell(self, tmp_path):
+        cache = DocumentCache(tmp_path, document_type="test_doc")
+        execute_grid([{"value": 1}], _worker, parse=_parse, keys=["a"], cache=cache)
+        seen = []
+        execute_grid(
+            [{"value": 1}, {"value": 2}], _worker, parse=_parse,
+            keys=["a", "b"], cache=cache,
+            on_task_done=lambda index, cached: seen.append((index, cached)),
+        )
+        assert sorted(seen) == [(0, True), (1, False)]

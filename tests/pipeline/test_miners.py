@@ -1,0 +1,124 @@
+"""Tests for the miner registry and the built-in miners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.workload import build_workload
+from repro.exceptions import ValidationError
+from repro.pipeline.miners import (
+    Miner,
+    available_miners,
+    get_miner,
+    register_miner,
+)
+from repro.pipeline.runner import disguise_workload
+from repro.rr.schemes import warner_matrix
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("adult:education", 5000, 0)
+
+
+@pytest.fixture(scope="module")
+def matrix(workload):
+    return warner_matrix(workload.n_categories, 0.7)
+
+
+@pytest.fixture(scope="module")
+def disguised(workload, matrix):
+    return disguise_workload(workload, matrix)
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        assert {"tree", "rules", "distribution"} <= set(available_miners())
+
+    def test_alias_resolves(self):
+        assert get_miner("dist").name == "distribution"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError, match="unknown miner"):
+            get_miner("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            register_miner(Miner("tree", "dupe", lambda *a: {}))
+
+    def test_effective_params_merges_and_casts(self):
+        params = get_miner("rules").effective_params({"min_support": "0.2"})
+        assert params["min_support"] == 0.2
+        assert params["min_confidence"] == 0.5
+
+    def test_effective_params_rejects_unknown_key(self):
+        with pytest.raises(ValidationError, match="does not accept"):
+            get_miner("tree").effective_params({"bogus": 1})
+
+
+class TestTreeMiner:
+    def test_metrics_shape_and_sanity(self, workload, disguised, matrix):
+        miner = get_miner("tree")
+        metrics = miner.run(workload, disguised, matrix, miner.effective_params(None))
+        assert set(metrics) >= {
+            "accuracy", "clean_accuracy", "accuracy_ratio", "majority_baseline",
+        }
+        # The planted signal must be learnable from clean data...
+        assert metrics["clean_accuracy"] > metrics["majority_baseline"] + 0.02
+        # ...and mostly survive a mild disguise.
+        assert metrics["accuracy"] > metrics["majority_baseline"]
+        assert 0.0 < metrics["accuracy_ratio"] <= 1.05
+
+    def test_deterministic(self, workload, disguised, matrix):
+        miner = get_miner("tree")
+        params = miner.effective_params(None)
+        assert miner.run(workload, disguised, matrix, params) == miner.run(
+            workload, disguised, matrix, params
+        )
+
+
+class TestRulesMiner:
+    def test_metrics_shape_and_bounds(self, workload, disguised, matrix):
+        miner = get_miner("rules")
+        metrics = miner.run(workload, disguised, matrix, miner.effective_params(None))
+        assert set(metrics) == {"precision", "recall", "f1", "n_rules", "n_clean_rules"}
+        for key in ("precision", "recall", "f1"):
+            assert 0.0 <= metrics[key] <= 1.0
+        assert metrics["n_clean_rules"] > 0
+
+    def test_identity_disguise_recovers_clean_rules(self, workload):
+        from repro.rr.matrix import RRMatrix
+
+        identity = RRMatrix.identity(workload.n_categories)
+        miner = get_miner("rules")
+        metrics = miner.run(
+            workload, workload.dataset, identity, miner.effective_params(None)
+        )
+        assert metrics["precision"] == 1.0
+        assert metrics["recall"] == 1.0
+
+
+class TestDistributionMiner:
+    def test_metrics_shape(self, workload, disguised, matrix):
+        miner = get_miner("distribution")
+        metrics = miner.run(workload, disguised, matrix, miner.effective_params(None))
+        assert set(metrics) == {"l1_error", "l2_error", "mse"}
+        assert 0.0 <= metrics["l1_error"] <= 2.0
+        assert metrics["l2_error"] <= metrics["l1_error"] + 1e-12
+
+    def test_identity_disguise_has_zero_error(self, workload):
+        from repro.rr.matrix import RRMatrix
+
+        identity = RRMatrix.identity(workload.n_categories)
+        miner = get_miner("distribution")
+        metrics = miner.run(
+            workload, workload.dataset, identity, miner.effective_params(None)
+        )
+        assert metrics["l1_error"] < 1e-12
+
+    def test_iterative_method_accepted(self, workload, disguised, matrix):
+        miner = get_miner("distribution")
+        metrics = miner.run(
+            workload, disguised, matrix, miner.effective_params({"method": "iterative"})
+        )
+        assert metrics["l1_error"] < 0.5

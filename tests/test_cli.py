@@ -175,6 +175,209 @@ class TestCampaign:
         assert "existing directory" in capsys.readouterr().err
 
 
+class TestOptimizeOutput:
+    def test_writes_loadable_front_document(self, capsys, tmp_path):
+        output = tmp_path / "front.json"
+        exit_code = main([
+            "optimize", "--distribution", "normal", "--categories", "5",
+            "--records", "1000", "--generations", "8", "--population", "8",
+            "--output", str(output),
+        ])
+        assert exit_code == 0
+        assert "front written to" in capsys.readouterr().out
+        from repro.io import load_result
+
+        result = load_result(output)
+        assert len(result.points) > 0
+        assert result.points[0].matrix.n_categories == 5
+
+    def test_missing_output_directory_fails_before_running(self, capsys, tmp_path):
+        exit_code = main([
+            "optimize", "--distribution", "normal",
+            "--output", str(tmp_path / "nope" / "front.json"),
+        ])
+        assert exit_code == 2
+        assert "--output" in capsys.readouterr().err
+
+
+#: Tiny pipeline workload shared by the CLI pipeline tests.
+FAST_PIPELINE = ["--data", "adult:sex", "--records", "600"]
+
+
+class TestPipeline:
+    def test_runs_schemes_and_writes_aggregate(self, capsys, tmp_path):
+        output = tmp_path / "aggregate.json"
+        exit_code = main([
+            "pipeline", *FAST_PIPELINE,
+            "--schemes", "warner:0.8,warner:0.7",
+            "--miners", "tree,rules,distribution",
+            "--seeds", "0-1",
+            "--output", str(output),
+        ])
+        assert exit_code == 0
+        stdout = capsys.readouterr().out
+        assert "2 scheme(s) x 2 seed(s) x 3 miner(s) = 12 cell(s)" in stdout
+        assert "warner:0.8" in stdout
+        document = json.loads(output.read_text())
+        assert document["type"] == "pipeline_aggregate"
+        assert document["seeds"] == [0, 1]
+        assert [row["scheme"] for row in document["schemes"]] == [
+            "warner:0.8", "warner:0.7",
+        ]
+
+    def test_result_document_written(self, capsys, tmp_path):
+        result_path = tmp_path / "result.json"
+        exit_code = main([
+            "pipeline", *FAST_PIPELINE,
+            "--schemes", "warner:0.8", "--miners", "distribution",
+            "--seeds", "1", "--result", str(result_path),
+        ])
+        assert exit_code == 0
+        document = json.loads(result_path.read_text())
+        assert document["type"] == "pipeline_result"
+        assert len(document["cells"]) == 1
+
+    def test_byte_identical_across_jobs_and_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        third = tmp_path / "third.json"
+        arguments = [
+            "pipeline", *FAST_PIPELINE,
+            "--schemes", "warner:0.8,warner:0.7", "--miners", "tree,rules",
+            "--seeds", "0-1", "--cache-dir", cache,
+        ]
+        assert main(arguments + ["--jobs", "2", "--output", str(first)]) == 0
+        assert main(arguments + ["--jobs", "1", "--output", str(second)]) == 0
+        assert "8 from cache" in capsys.readouterr().out
+        assert main([
+            "pipeline", *FAST_PIPELINE,
+            "--schemes", "warner:0.8,warner:0.7", "--miners", "tree,rules",
+            "--seeds", "0-1", "--output", str(third),
+        ]) == 0
+        assert first.read_bytes() == second.read_bytes() == third.read_bytes()
+
+    def test_front_document_feeds_the_pipeline(self, capsys, tmp_path):
+        front = tmp_path / "front.json"
+        assert main([
+            "optimize", "--distribution", "adult:sex", "--records", "600",
+            "--generations", "8", "--population", "8",
+            "--output", str(front),
+        ]) == 0
+        exit_code = main([
+            "pipeline", *FAST_PIPELINE,
+            "--front", str(front), "--front-schemes", "2",
+            "--miners", "distribution", "--seeds", "1",
+        ])
+        assert exit_code == 0
+        assert "front[00]" in capsys.readouterr().out
+
+    def test_schemes_or_front_required(self, capsys):
+        assert main(["pipeline", *FAST_PIPELINE]) == 2
+        assert "--schemes" in capsys.readouterr().err
+
+    def test_unreadable_front_exits_2(self, capsys, tmp_path):
+        missing = tmp_path / "absent.json"
+        assert main([
+            "pipeline", *FAST_PIPELINE, "--front", str(missing),
+        ]) == 2
+        assert "--front" in capsys.readouterr().err
+
+    def test_bad_seeds_exit_2(self, capsys):
+        assert main([
+            "pipeline", *FAST_PIPELINE, "--schemes", "warner:0.8",
+            "--seeds", "x",
+        ]) == 2
+        assert "seeds" in capsys.readouterr().err
+
+    def test_unknown_miner_exits_2(self, capsys):
+        assert main([
+            "pipeline", *FAST_PIPELINE, "--schemes", "warner:0.8",
+            "--miners", "nope",
+        ]) == 2
+        assert "unknown miner" in capsys.readouterr().err
+
+    def test_bad_scheme_exits_2(self, capsys):
+        assert main([
+            "pipeline", *FAST_PIPELINE, "--schemes", "warner",
+        ]) == 2
+        assert "family:parameter" in capsys.readouterr().err
+
+    def test_conflicting_categories_exit_2(self, capsys):
+        assert main([
+            "pipeline", "--data", "adult:sex", "--categories", "10",
+            "--schemes", "warner:0.8",
+        ]) == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_miner_param_override_applies(self, capsys, tmp_path):
+        result_path = tmp_path / "result.json"
+        exit_code = main([
+            "pipeline", *FAST_PIPELINE, "--schemes", "warner:0.8",
+            "--miners", "rules", "--seeds", "1",
+            "--miner-param", "rules:min_support=0.2",
+            "--result", str(result_path),
+        ])
+        assert exit_code == 0
+        document = json.loads(result_path.read_text())
+        assert document["miner_params"]["rules"]["min_support"] == 0.2
+
+    def test_miner_param_accepts_documented_alias(self, capsys):
+        exit_code = main([
+            "pipeline", *FAST_PIPELINE, "--schemes", "warner:0.8",
+            "--miners", "dist", "--seeds", "1",
+            "--miner-param", "dist:method=inversion",
+        ])
+        assert exit_code == 0
+
+    def test_cell_time_estimation_error_exits_2(self, capsys):
+        # The method value is only validated when the miner runs; the failure
+        # must still surface as the documented exit-2 error, not a traceback.
+        exit_code = main([
+            "pipeline", *FAST_PIPELINE, "--schemes", "warner:0.8",
+            "--miners", "distribution", "--seeds", "1",
+            "--miner-param", "distribution:method=nope",
+        ])
+        assert exit_code == 2
+        assert "unknown estimation method" in capsys.readouterr().err
+
+    def test_uncoercible_miner_param_value_exits_2(self, capsys):
+        exit_code = main([
+            "pipeline", *FAST_PIPELINE, "--schemes", "warner:0.8",
+            "--miners", "tree", "--miner-param", "tree:max_depth=abc",
+        ])
+        assert exit_code == 2
+        assert "expects a" in capsys.readouterr().err
+
+    def test_front_schemes_without_front_exits_2(self, capsys):
+        exit_code = main([
+            "pipeline", *FAST_PIPELINE, "--schemes", "warner:0.8",
+            "--front-schemes", "2",
+        ])
+        assert exit_code == 2
+        assert "--front-schemes" in capsys.readouterr().err
+
+    def test_malformed_miner_param_exits_2(self, capsys):
+        assert main([
+            "pipeline", *FAST_PIPELINE, "--schemes", "warner:0.8",
+            "--miner-param", "rules-min_support-0.2",
+        ]) == 2
+        assert "miner:key=value" in capsys.readouterr().err
+
+    def test_missing_output_directory_fails_before_running(self, capsys, tmp_path):
+        assert main([
+            "pipeline", *FAST_PIPELINE, "--schemes", "warner:0.8",
+            "--output", str(tmp_path / "nope" / "agg.json"),
+        ]) == 2
+        assert "--output" in capsys.readouterr().err
+
+    def test_zero_jobs_exits_2(self, capsys):
+        assert main([
+            "pipeline", *FAST_PIPELINE, "--schemes", "warner:0.8", "--jobs", "0",
+        ]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
 class TestAdultCategoriesResolution:
     def test_optimize_derives_categories_from_adult_attribute(self, capsys):
         exit_code = main([
