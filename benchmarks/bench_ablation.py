@@ -95,7 +95,11 @@ def test_emoo_algorithm_ablation(run_once):
         )
         return optrr_front, nsga_front, ws_front
 
-    optrr_front, nsga_front, ws_front = run_once(run_all)
+    optrr_front, nsga_front, ws_front = run_once(
+        run_all,
+        op="emoo_algorithm_ablation",
+        params={"population": population, "generations": generations},
+    )
 
     arrays = {
         name: front.as_minimization_array()
@@ -157,7 +161,11 @@ def test_optimal_set_ablation(run_once):
         ).run()
         return with_omega, without_omega
 
-    with_omega, without_omega = run_once(run_both)
+    with_omega, without_omega = run_once(
+        run_both,
+        op="optimal_set_ablation",
+        params={"population": population, "generations": generations},
+    )
     front_with = ParetoFront.from_result("with-omega", with_omega)
     front_without = ParetoFront.from_result("without-omega", without_omega)
 

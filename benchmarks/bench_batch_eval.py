@@ -23,6 +23,11 @@ import time
 
 import numpy as np
 
+try:
+    from benchmarks.conftest import record_bench
+except ImportError:  # standalone execution: benchmarks/ itself is sys.path[0]
+    from conftest import record_bench
+
 from repro.core.operators import enforce_privacy_bound, enforce_privacy_bound_batch
 from repro.data.synthetic import normal_distribution
 from repro.metrics.evaluation import MatrixEvaluator
@@ -116,10 +121,21 @@ def measure_repair_speedup(
     }
 
 
+def _record(op: str, result: dict) -> None:
+    record_bench(
+        "batch_eval",
+        op,
+        {"n_categories": N_CATEGORIES, "population": POPULATION, "delta": DELTA},
+        result["batch_seconds"],
+        reference_seconds=result["scalar_seconds"],
+    )
+
+
 def test_population_evaluation_speedup():
     """The batch engine must evaluate a (16, pop=100) population >= 5x faster
     than the scalar loop (the ISSUE-1 acceptance bar)."""
     result = measure_evaluation_speedup()
+    _record("evaluate_batch", result)
     print(
         f"\npopulation evaluation (n={N_CATEGORIES}, pop={POPULATION}): "
         f"scalar {result['scalar_seconds'] * 1e3:.2f} ms, "
@@ -137,6 +153,7 @@ def test_bound_repair_batch_is_not_slower():
     usually several times faster; the bound here is deliberately loose
     because repair pass counts vary with the drawn matrices)."""
     result = measure_repair_speedup()
+    _record("bound_repair_batch", result)
     print(
         f"\nbound repair (n={N_CATEGORIES}, pop={POPULATION}): "
         f"scalar {result['scalar_seconds'] * 1e3:.2f} ms, "
@@ -147,11 +164,12 @@ def test_bound_repair_batch_is_not_slower():
 
 
 def main() -> None:
-    for name, measure in (
-        ("population evaluation", measure_evaluation_speedup),
-        ("bound repair", measure_repair_speedup),
+    for name, op, measure in (
+        ("population evaluation", "evaluate_batch", measure_evaluation_speedup),
+        ("bound repair", "bound_repair_batch", measure_repair_speedup),
     ):
         result = measure()
+        _record(op, result)
         print(
             f"{name:24s} n={N_CATEGORIES} pop={POPULATION}  "
             f"scalar={result['scalar_seconds'] * 1e3:8.2f} ms  "

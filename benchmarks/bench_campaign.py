@@ -26,6 +26,11 @@ import time
 
 import pytest
 
+try:
+    from benchmarks.conftest import record_bench
+except ImportError:  # standalone execution: benchmarks/ itself is sys.path[0]
+    from conftest import record_bench
+
 from repro.experiments.campaign import plan_campaign, run_campaign
 
 #: The campaign workload: two front-comparison experiments, four seeds each.
@@ -69,6 +74,26 @@ def measure_campaign_scaling() -> dict:
     }
 
 
+def _record_scaling(result: dict) -> None:
+    record_bench(
+        "campaign",
+        "parallel_workers",
+        {"experiments": len(EXPERIMENTS), "seeds": N_SEEDS, "jobs": N_JOBS},
+        result["parallel_seconds"],
+        reference_seconds=result["serial_seconds"],
+    )
+
+
+def _record_replay(result: dict) -> None:
+    record_bench(
+        "campaign",
+        "cache_replay",
+        {"experiments": len(EXPERIMENTS), "seeds": N_SEEDS},
+        result["warm_seconds"],
+        reference_seconds=result["cold_seconds"],
+    )
+
+
 def measure_cache_replay() -> dict:
     """Time a cold campaign against a fully-cached replay."""
     spec = plan_campaign(EXPERIMENTS, range(N_SEEDS), BUDGET)
@@ -98,6 +123,7 @@ def test_campaign_parallel_speedup():
         # Skip before the minutes-scale measurement, not after.
         pytest.skip(f"host exposes {cores} usable core(s); parallel speedup not measurable")
     result = measure_campaign_scaling()
+    _record_scaling(result)
     print(
         f"\ncampaign scaling ({len(EXPERIMENTS)} experiments x {N_SEEDS} seeds = "
         f"{result['n_tasks']} tasks): serial {result['serial_seconds']:.2f} s, "
@@ -115,6 +141,7 @@ def test_campaign_cache_replay_speedup():
     """A fully-cached replay must be at least 5x faster than the cold run
     (it does no optimization work at all, only JSON loads)."""
     result = measure_cache_replay()
+    _record_replay(result)
     print(
         f"\ncampaign cache replay: cold {result['cold_seconds']:.2f} s, "
         f"warm {result['warm_seconds']:.2f} s, speedup {result['speedup']:.1f}x"
@@ -124,6 +151,7 @@ def test_campaign_cache_replay_speedup():
 
 def main() -> None:
     scaling = measure_campaign_scaling()
+    _record_scaling(scaling)
     print(
         f"campaign scaling   tasks={scaling['n_tasks']}  "
         f"serial={scaling['serial_seconds']:6.2f} s  "
@@ -132,6 +160,7 @@ def main() -> None:
         f"(usable cores: {_usable_cores()})"
     )
     replay = measure_cache_replay()
+    _record_replay(replay)
     print(
         f"campaign cache     cold={replay['cold_seconds']:6.2f} s  "
         f"warm={replay['warm_seconds']:6.2f} s  speedup={replay['speedup']:5.1f}x"

@@ -8,7 +8,7 @@ combinatorial evaluation across a sweep of domain sizes.
 
 from __future__ import annotations
 
-from benchmarks.conftest import report_experiment
+from benchmarks.conftest import record_benchmark_stats, report_experiment
 from repro.core.search_space import log10_rr_matrix_combinations
 from repro.experiments.runner import run_experiment
 
@@ -28,6 +28,9 @@ def test_fact1_growth_sweep(benchmark):
         return [log10_rr_matrix_combinations(n, 100) for n in range(2, 16)]
 
     exponents = benchmark(sweep)
+    record_benchmark_stats(
+        benchmark, "fact1", "search_space_growth_sweep", {"n_max": 15, "resolution": 100}
+    )
     print()
     print("  n (categories) -> log10(#RR matrices) at d=100")
     for n, exponent in zip(range(2, 16), exponents):

@@ -11,6 +11,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from benchmarks.conftest import record_benchmark_stats
+
 from repro.core.operators import (
     column_crossover,
     enforce_privacy_bound,
@@ -48,6 +50,10 @@ def test_matrix_evaluation_speed(benchmark, prior):
         return evaluator.evaluate(candidates[next(index) % len(candidates)])
 
     evaluation = benchmark(evaluate)
+    record_benchmark_stats(
+        benchmark, "micro", "matrix_evaluation",
+        {"n_categories": N_CATEGORIES, "n_records": N_RECORDS},
+    )
     assert 0.0 <= evaluation.privacy <= 1.0
 
 
@@ -56,6 +62,7 @@ def test_crossover_speed(benchmark):
     a = random_rr_matrix(N_CATEGORIES, seed=1)
     b = random_rr_matrix(N_CATEGORIES, seed=2)
     child_a, _child_b = benchmark(column_crossover, a, b, rng)
+    record_benchmark_stats(benchmark, "micro", "column_crossover", {"n_categories": N_CATEGORIES})
     assert child_a.n_categories == N_CATEGORIES
 
 
@@ -63,12 +70,14 @@ def test_mutation_speed(benchmark):
     rng = np.random.default_rng(0)
     matrix = random_rr_matrix(N_CATEGORIES, seed=3)
     mutated = benchmark(proportional_column_mutation, matrix, rng)
+    record_benchmark_stats(benchmark, "micro", "column_mutation", {"n_categories": N_CATEGORIES})
     assert mutated.n_categories == N_CATEGORIES
 
 
 def test_bound_repair_speed(benchmark, prior):
     matrix = random_rr_matrix(N_CATEGORIES, seed=4, diagonal_bias=20.0)
     repaired = benchmark(enforce_privacy_bound, matrix, prior.probabilities, 0.7)
+    record_benchmark_stats(benchmark, "micro", "bound_repair", {"n_categories": N_CATEGORIES})
     assert repaired.n_categories == N_CATEGORIES
 
 
@@ -77,6 +86,7 @@ def test_randomization_speed(benchmark, prior, matrix):
     mechanism = RandomizedResponse(matrix)
     codes = prior.sample(N_RECORDS, seed=5)
     disguised = benchmark(mechanism.randomize_codes, codes, 6)
+    record_benchmark_stats(benchmark, "micro", "randomization", {"n_records": N_RECORDS})
     assert disguised.shape == codes.shape
 
 
@@ -86,6 +96,7 @@ def test_inversion_estimation_speed(benchmark, prior, matrix):
     disguised = RandomizedResponse(matrix).randomize_codes(codes, seed=8)
     estimator = InversionEstimator()
     estimate = benchmark(estimator.estimate_from_codes, disguised, matrix)
+    record_benchmark_stats(benchmark, "micro", "inversion_estimation", {"n_records": N_RECORDS})
     assert estimate.probabilities.sum() == pytest.approx(1.0)
 
 
@@ -96,4 +107,5 @@ def test_iterative_estimation_speed(benchmark, prior, matrix):
     disguised = RandomizedResponse(matrix).randomize_codes(codes, seed=10)
     estimator = IterativeEstimator(max_iterations=500, tolerance=1e-8)
     estimate = benchmark(estimator.estimate_from_codes, disguised, matrix)
+    record_benchmark_stats(benchmark, "micro", "iterative_estimation", {"n_records": N_RECORDS})
     assert estimate.probabilities.sum() == pytest.approx(1.0)

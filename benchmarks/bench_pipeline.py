@@ -25,6 +25,11 @@ import time
 
 import pytest
 
+try:
+    from benchmarks.conftest import record_bench
+except ImportError:  # standalone execution: benchmarks/ itself is sys.path[0]
+    from conftest import record_bench
+
 from repro.pipeline import plan_pipeline, run_pipeline
 
 #: The pipeline workload: four disguise strengths, three miners, two seeds.
@@ -76,6 +81,26 @@ def measure_pipeline_scaling() -> dict:
     }
 
 
+def _record_scaling(result: dict) -> None:
+    record_bench(
+        "pipeline",
+        "parallel_workers",
+        {"schemes": len(SCHEMES), "miners": len(MINERS), "seeds": N_SEEDS, "jobs": N_JOBS},
+        result["parallel_seconds"],
+        reference_seconds=result["serial_seconds"],
+    )
+
+
+def _record_replay(result: dict) -> None:
+    record_bench(
+        "pipeline",
+        "cache_replay",
+        {"schemes": len(SCHEMES), "miners": len(MINERS), "seeds": N_SEEDS},
+        result["warm_seconds"],
+        reference_seconds=result["cold_seconds"],
+    )
+
+
 def measure_cache_replay() -> dict:
     """Time a cold pipeline against a fully-cached replay."""
     spec = _spec()
@@ -105,6 +130,7 @@ def test_pipeline_byte_determinism_across_jobs_and_cache():
     parallel = run_pipeline(scaling_free_spec, n_jobs=2)
     assert parallel.aggregate_json() == serial.aggregate_json()
     replay = measure_cache_replay()
+    _record_replay(replay)
     print(
         f"\npipeline cache replay: cold {replay['cold_seconds']:.2f} s, "
         f"warm {replay['warm_seconds']:.2f} s, speedup {replay['speedup']:.1f}x"
@@ -119,6 +145,7 @@ def test_pipeline_parallel_speedup():
     if cores < 2:
         pytest.skip(f"host exposes {cores} usable core(s); parallel speedup not measurable")
     result = measure_pipeline_scaling()
+    _record_scaling(result)
     print(
         f"\npipeline scaling ({len(SCHEMES)} schemes x {N_SEEDS} seeds x "
         f"{len(MINERS)} miners = {result['n_cells']} cells): "
@@ -134,6 +161,7 @@ def test_pipeline_parallel_speedup():
 
 def main() -> None:
     scaling = measure_pipeline_scaling()
+    _record_scaling(scaling)
     print(
         f"pipeline scaling   cells={scaling['n_cells']}  "
         f"serial={scaling['serial_seconds']:6.2f} s  "
@@ -142,6 +170,7 @@ def main() -> None:
         f"(usable cores: {_usable_cores()})"
     )
     replay = measure_cache_replay()
+    _record_replay(replay)
     print(
         f"pipeline cache     cold={replay['cold_seconds']:6.2f} s  "
         f"warm={replay['warm_seconds']:6.2f} s  speedup={replay['speedup']:5.1f}x"

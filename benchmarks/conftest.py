@@ -4,6 +4,12 @@ Every paper table/figure has one benchmark that (a) regenerates the figure's
 data series with this library, (b) prints the paper-vs-measured comparison,
 and (c) records the wall-clock cost via pytest-benchmark.
 
+Every benchmark additionally emits a machine-readable ``BENCH_<name>.json``
+next to the working directory (override with ``REPRO_BENCH_DIR``) through
+:func:`record_bench` / :func:`emit_bench_json`, seeding the repository's
+performance trajectory; the schema is documented in ``docs/benchmarks.md``
+and the committed baselines are checked by ``tools/check_perf.py`` in CI.
+
 Budget knobs (both optional):
 
 * ``REPRO_GENERATIONS`` — optimizer generations per experiment (default 400;
@@ -17,10 +23,122 @@ Run with::
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.analysis.plot import ascii_scatter
 from repro.experiments.base import ExperimentResult
+
+#: Version of the BENCH_<name>.json document layout.
+BENCH_SCHEMA_VERSION = 1
+
+
+def bench_output_dir() -> Path:
+    """Directory BENCH_<name>.json files are written to (``REPRO_BENCH_DIR``
+    or the current working directory)."""
+    return Path(os.environ.get("REPRO_BENCH_DIR", "."))
+
+
+def bench_record(
+    op: str,
+    params: dict,
+    seconds: float,
+    *,
+    reference_seconds: float | None = None,
+    speedup: float | None = None,
+    **extra,
+) -> dict:
+    """Build one benchmark record (op, params, wall time, speedup vs
+    reference).  ``speedup`` is derived from ``reference_seconds`` when not
+    given explicitly."""
+    record = {"op": op, "params": dict(params), "seconds": float(seconds)}
+    if reference_seconds is not None:
+        record["reference_seconds"] = float(reference_seconds)
+        if speedup is None and seconds > 0:
+            speedup = reference_seconds / seconds
+    if speedup is not None:
+        record["speedup"] = float(speedup)
+    record.update(extra)
+    return record
+
+
+def emit_bench_json(name: str, records: list[dict], directory: Path | None = None) -> Path:
+    """Write ``BENCH_<name>.json`` with the given records and return its path.
+
+    The document carries the schema version and the python/numpy versions the
+    numbers were measured under, so trajectory files from different
+    environments stay comparable.
+    """
+    import numpy
+
+    directory = Path(directory) if directory is not None else bench_output_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    document = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench": name,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "records": list(records),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def record_bench(
+    name: str,
+    op: str,
+    params: dict,
+    seconds: float,
+    *,
+    reference_seconds: float | None = None,
+    speedup: float | None = None,
+    **extra,
+) -> Path:
+    """Record one op into ``BENCH_<name>.json``, merging with the records
+    already on disk (one record per op, newest wins).
+
+    Merging through the file rather than an in-process registry keeps the
+    trajectory consistent even when tests record through different module
+    instances (pytest's conftest plugin vs ``benchmarks.conftest``) or
+    across separate benchmark invocations.
+    """
+    record = bench_record(
+        op,
+        params,
+        seconds,
+        reference_seconds=reference_seconds,
+        speedup=speedup,
+        **extra,
+    )
+    records: dict[str, dict] = {}
+    path = bench_output_dir() / f"BENCH_{name}.json"
+    if path.is_file():
+        try:
+            existing = json.loads(path.read_text())
+            records = {entry["op"]: entry for entry in existing.get("records", [])}
+        except (json.JSONDecodeError, KeyError, TypeError):
+            records = {}
+    records[op] = record
+    return emit_bench_json(name, [records[key] for key in sorted(records)])
+
+
+def record_benchmark_stats(benchmark, name: str, op: str, params: dict) -> None:
+    """Record the mean wall time of a completed pytest-benchmark fixture run.
+
+    Skips silently when the plugin ran in ``--benchmark-disable`` mode and
+    collected no stats.
+    """
+    try:
+        seconds = float(benchmark.stats.stats.mean)
+    except (AttributeError, TypeError):
+        return
+    record_bench(name, op, params, seconds)
 
 
 def report_experiment(result: ExperimentResult, *, plot: bool = True) -> None:
@@ -41,14 +159,32 @@ def report_experiment(result: ExperimentResult, *, plot: bool = True) -> None:
 
 
 @pytest.fixture
-def run_once(benchmark):
+def run_once(benchmark, request):
     """Run a callable exactly once under pytest-benchmark.
 
     The experiments are minutes-scale relative to micro-benchmarks, so a
-    single round is both representative and affordable.
+    single round is both representative and affordable.  Each run is also
+    recorded into the module's ``BENCH_<name>.json`` trajectory file — pass
+    ``op=`` (and optionally ``params=``) to label the record; the default op
+    is the callable name plus its first positional argument.
     """
 
-    def runner(function, *args, **kwargs):
-        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    def runner(function, *args, op: str | None = None, params: dict | None = None, **kwargs):
+        start = time.perf_counter()
+        result = benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        elapsed = time.perf_counter() - start
+        name = request.module.__name__.removeprefix("benchmarks.").removeprefix("bench_")
+        if op is None:
+            op = function.__name__
+            if args and isinstance(args[0], str):
+                op = f"{op}:{args[0]}"
+        if params is None:
+            params = {
+                key: value
+                for key, value in kwargs.items()
+                if isinstance(value, (int, float, str, bool))
+            }
+        record_bench(name, op, params, elapsed)
+        return result
 
     return runner

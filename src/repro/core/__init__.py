@@ -21,6 +21,7 @@ from repro.core.operators import (
 )
 from repro.core.problem import RRMatrixProblem
 from repro.core.optimizer import OptRROptimizer
+from repro.core.reference import reference_optrr_run
 from repro.core.result import OptimizationResult, ParetoPoint
 from repro.core.bruteforce import brute_force_front
 from repro.core.search_space import rr_matrix_combinations
@@ -33,6 +34,7 @@ __all__ = [
     "ParetoPoint",
     "RRMatrixProblem",
     "brute_force_front",
+    "reference_optrr_run",
     "column_crossover",
     "column_crossover_batch",
     "enforce_privacy_bound",

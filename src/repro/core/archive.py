@@ -11,12 +11,13 @@ archive without affecting the cubic environmental-selection cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 
 from repro.emoo.dominance import non_dominated
 from repro.emoo.individual import Individual
+from repro.emoo.population import Population
 from repro.exceptions import OptimizationError
 from repro.utils.validation import check_positive_int
 
@@ -38,6 +39,9 @@ class OptimalSet:
     def __post_init__(self) -> None:
         check_positive_int(self.size, "size")
         self._slots: list[Individual | None] = [None] * self.size
+        # Parallel utility array (+inf = empty slot) so whole populations can
+        # be pre-filtered against Ω with one vectorized comparison.
+        self._utilities = np.full(self.size, np.inf)
         self._n_updates = 0
 
     # -- indexing ------------------------------------------------------------
@@ -47,6 +51,14 @@ class OptimalSet:
             raise OptimizationError(f"privacy must be finite, got {privacy}")
         index = int(np.floor(np.clip(privacy, 0.0, 1.0) * self.size))
         return min(index, self.size - 1)
+
+    def slots_of(self, privacy: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`slot_of` over a privacy array."""
+        privacy = np.asarray(privacy, dtype=np.float64)
+        if privacy.size and not np.all(np.isfinite(privacy)):
+            raise OptimizationError("privacy values must be finite")
+        indices = np.floor(np.clip(privacy, 0.0, 1.0) * self.size).astype(np.intp)
+        return np.minimum(indices, self.size - 1)
 
     # -- updates ---------------------------------------------------------------
     def offer(self, individual: Individual) -> bool:
@@ -74,6 +86,7 @@ class OptimalSet:
         occupant = self._slots[slot]
         if occupant is None or utility < float(occupant.metadata["utility"]):
             self._slots[slot] = individual.copy()
+            self._utilities[slot] = utility
             self._n_updates += 1
             return True
         return False
@@ -81,6 +94,46 @@ class OptimalSet:
     def offer_many(self, individuals: list[Individual]) -> int:
         """Offer a batch of candidates; returns the number of accepted updates."""
         return sum(1 for individual in individuals if self.offer(individual))
+
+    def offer_population(
+        self,
+        population: Population,
+        make_individual: Callable[[int], Individual],
+    ) -> int:
+        """Offer a whole structure-of-arrays population to Ω.
+
+        Candidates are pre-filtered with one vectorized comparison against the
+        slot-utility array; only the (few) actual improvements construct an
+        ``Individual`` via ``make_individual(row_index)``.  Accept/reject
+        decisions and the update count are identical to offering the rows
+        sequentially through :meth:`offer`, because slot utilities only ever
+        decrease — a candidate losing the vectorized pre-filter would also
+        lose the sequential comparison.
+        """
+        utility = np.asarray(population.metadata["utility"], dtype=np.float64)
+        candidates = np.flatnonzero(population.feasible & np.isfinite(utility))
+        if candidates.size == 0:
+            return 0
+        slots = self.slots_of(population.metadata["privacy"][candidates])
+        improving = np.flatnonzero(utility[candidates] < self._utilities[slots])
+        updates = 0
+        for local in improving:
+            row = int(candidates[local])
+            slot = int(slots[local])
+            # Re-check: an earlier row of this batch may have taken the slot
+            # with a better utility than the pre-filter snapshot knew about.
+            if utility[row] < self._utilities[slot]:
+                self._slots[slot] = make_individual(row)
+                self._utilities[slot] = utility[row]
+                self._n_updates += 1
+                updates += 1
+        return updates
+
+    def slot_utilities(self) -> np.ndarray:
+        """Read-only view of the per-slot utilities (+inf = empty slot)."""
+        view = self._utilities.view()
+        view.flags.writeable = False
+        return view
 
     def best_for_slot(self, slot: int) -> Individual | None:
         """Current occupant of ``slot`` (None when empty)."""

@@ -13,6 +13,18 @@ The driver below follows the paper's algorithm outline:
    optimal set Ω (privacy-indexed), and inject Ω's best matrices back into
    the evolving sets so good discarded solutions keep participating;
 7. *Termination*: a fixed generation budget and/or Ω-stagnation patience.
+
+The whole loop is array-native: population and archive are
+structure-of-arrays :class:`~repro.emoo.population.Population` objects whose
+``(P, n, n)`` genome stack is built once per generation by the batch
+evaluator and only sliced by index afterwards.  The pairwise
+objective-distance matrix is computed once per generation and shared between
+density estimation and archive truncation; mating selection reuses the
+fitness environmental selection just assigned (stamped per generation, so
+staleness is impossible) instead of re-running fitness assignment on the
+archive.  ``Individual`` objects appear only at the result boundary and
+inside Ω.  The pre-PR list-based loop is preserved verbatim in
+:mod:`repro.core.reference` for equivalence tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -27,18 +39,21 @@ from repro.core.config import OptRRConfig
 from repro.core.problem import RRMatrixProblem
 from repro.core.result import OptimizationResult
 from repro.data.distribution import CategoricalDistribution
-from repro.emoo.fitness import assign_spea2_fitness
+from repro.emoo.density import pairwise_distances
+from repro.emoo.fitness import spea2_fitness_from_arrays
 from repro.emoo.individual import Individual
-from repro.emoo.selection import binary_tournament, environmental_selection
+from repro.emoo.population import Population
+from repro.emoo.selection import (
+    binary_tournament_indices,
+    environmental_selection_indices,
+)
 from repro.emoo.termination import (
     GenerationState,
     MaxGenerations,
     StagnationTermination,
     TerminationCriterion,
 )
-from repro.exceptions import OptimizationError
 from repro.metrics.privacy import check_bound_feasible
-from repro.rr.matrix import stack_matrices
 from repro.types import SeedLike, as_rng
 from repro.utils.logging import get_logger
 
@@ -117,7 +132,9 @@ class OptRROptimizer:
         seed:
             Overrides ``config.seed`` when provided.
         on_generation:
-            Optional callback invoked after every generation.
+            Optional callback invoked after every generation.  The archive is
+            materialised as ``Individual`` views only when a callback is
+            registered.
         """
         config = self.config
         rng = as_rng(seed if seed is not None else config.seed)
@@ -125,41 +142,51 @@ class OptRROptimizer:
         termination.reset()
         problem = self._problem
 
-        population = problem.initial_population(config.population_size, rng)
-        baseline_seeds = self._baseline_seed_individuals(rng)
-        if not population:
-            raise OptimizationError("initial population is empty")
-        archive: list[Individual] = []
+        population = problem.initial_population_soa(config.population_size, rng)
+        baseline = self._baseline_seed_population(rng)
         optimal_set = OptimalSet(config.optimal_set_size)
-        optimal_set.offer_many(population)
+        self._offer_population(optimal_set, population)
         # The full baseline sweep goes straight into Ω (O(1) per matrix); only
         # a thin, evenly spaced subset joins the evolving population so the
         # per-generation selection cost stays bounded.
-        optimal_set.offer_many(baseline_seeds)
-        if baseline_seeds:
-            stride = max(1, len(baseline_seeds) // 25)
-            population.extend(baseline_seeds[::stride])
+        if baseline is not None:
+            self._offer_population(optimal_set, baseline)
+            stride = max(1, baseline.size // 25)
+            population = Population.concat(
+                population, baseline.take(np.arange(0, baseline.size, stride))
+            )
 
+        archive: Population | None = None
         generation = 0
         while True:
             # 1-2. Fitness assignment + environmental selection on Q_t + V_t.
-            union = population + archive
-            archive = environmental_selection(
-                union, config.archive_size, density_k=config.density_k
+            # The pairwise distance matrix is computed once and shared between
+            # the density estimator and (via slicing) archive truncation.
+            union = population if archive is None else Population.concat(population, archive)
+            distances = pairwise_distances(union.objectives)
+            _, _, fitness = spea2_fitness_from_arrays(
+                union.objectives, union.feasible, config.density_k, distances=distances
             )
+            selected = environmental_selection_indices(
+                fitness, config.archive_size, distances=distances
+            )
+            archive = union.take(selected)
+            archive.set_fitness(fitness[selected], generation)
             # 3-5. Mating selection, crossover, mutation, bound repair — the
             # whole offspring generation moves as one (B, n, n) stack.
-            offspring_stack = self._make_offspring(archive, rng)
-            population = problem.evaluate_stack(offspring_stack)
+            offspring_stack = self._make_offspring(archive, rng, generation)
+            population = problem.evaluate_population(offspring_stack)
             # 6. Update the three sets: Ω absorbs the new generation, and the
             # archive/population are refreshed with Ω's best matrices for the
             # privacy levels they already occupy.
-            updates = optimal_set.offer_many(population)
-            updates += optimal_set.offer_many(archive)
+            updates = self._offer_population(optimal_set, population)
+            updates += self._offer_population(optimal_set, archive)
             self._refresh_from_optimal_set(population, optimal_set)
             self._refresh_from_optimal_set(archive, optimal_set)
             if on_generation is not None:
-                on_generation(generation, archive, optimal_set)
+                on_generation(
+                    generation, problem.population_to_individuals(archive), optimal_set
+                )
             # 7. Termination.
             state = GenerationState(generation=generation, archive_updates=updates)
             if termination.should_stop(state):
@@ -171,7 +198,7 @@ class OptRROptimizer:
             # No feasible matrix was ever found (possible only with an
             # extremely tight delta); fall back to the archive so the caller
             # still gets diagnostics.
-            front = archive
+            front = problem.population_to_individuals(archive)
         result = OptimizationResult.from_individuals(
             front,
             optimal_set.members(),
@@ -189,9 +216,17 @@ class OptRROptimizer:
         return result
 
     # -- internals -----------------------------------------------------------
-    def _baseline_seed_individuals(self, rng: np.random.Generator) -> list[Individual]:
-        """Warm-start individuals: Warner-family matrices (bound-repaired when
-        a ``delta`` is configured), evaluated like any other candidate.
+    def _offer_population(self, optimal_set: OptimalSet, population: Population) -> int:
+        """Offer every row of ``population`` to Ω (vectorized pre-filter;
+        ``Individual`` views are built only for accepted updates)."""
+        problem = self._problem
+        return optimal_set.offer_population(
+            population, lambda index: problem.population_individual(population, index)
+        )
+
+    def _baseline_seed_population(self, rng: np.random.Generator) -> Population | None:
+        """Warm-start population: Warner-family matrices (bound-repaired when
+        a ``delta`` is configured), evaluated like any other candidates.
 
         Warner matrices are ordinary points of the search space; starting the
         optimal set Ω from the classic front and improving on it reproduces
@@ -200,7 +235,7 @@ class OptRROptimizer:
         """
         config = self.config
         if config.baseline_seeds <= 0:
-            return []
+            return None
         from repro.rr.schemes import warner_matrix
 
         n = self.prior.n_categories
@@ -208,20 +243,27 @@ class OptRROptimizer:
         # baseline comparison); p below 1/n produces the "anti-diagonal"
         # branch that matters at the high-privacy end of the front.
         retention_values = np.linspace(0.0, 1.0, config.baseline_seeds)
-        matrices = [warner_matrix(n, float(retention)) for retention in retention_values]
-        matrices = self._problem.repair_genomes(matrices, rng)
-        return self._problem.evaluate_genomes(matrices)
+        stack = np.stack(
+            [warner_matrix(n, float(retention)).probabilities for retention in retention_values]
+        )
+        return self._problem.evaluate_population(self._problem.repair_stack(stack))
 
     def _make_offspring(
-        self, archive: list[Individual], rng: np.random.Generator
+        self, archive: Population, rng: np.random.Generator, generation: int
     ) -> np.ndarray:
         """Mating selection, crossover, mutation and bound repair, producing
-        the next population as a ``(population_size, n, n)`` stack."""
+        the next population as a ``(population_size, n, n)`` stack.
+
+        Mating selection reuses the fitness stored by this generation's
+        environmental selection (the generation stamp guarantees freshness) —
+        the list-based loop redundantly re-assigned SPEA2 fitness to the
+        archive here every generation.
+        """
         config = self.config
         problem = self._problem
-        assign_spea2_fitness(archive, config.density_k)
-        parents = binary_tournament(archive, config.population_size, seed=rng)
-        parent_stack = stack_matrices([parent.genome for parent in parents])
+        fitness = archive.require_fresh_fitness(generation)
+        parents = binary_tournament_indices(fitness, config.population_size, rng)
+        parent_stack = archive.genomes[parents]
         n_parents = parent_stack.shape[0]
         first_index = np.arange(0, n_parents, 2)
         first = parent_stack[first_index]
@@ -243,16 +285,30 @@ class OptRROptimizer:
         return problem.repair_stack(children)
 
     def _refresh_from_optimal_set(
-        self, individuals: list[Individual], optimal_set: OptimalSet
+        self, population: Population, optimal_set: OptimalSet
     ) -> None:
-        """Replace evolving individuals with strictly better Ω occupants of the
-        same privacy slot (the reverse direction of the Ω update)."""
-        for index, individual in enumerate(individuals):
-            if not individual.feasible or "privacy" not in individual.metadata:
+        """Replace evolving candidates with strictly better Ω occupants of the
+        same privacy slot (the reverse direction of the Ω update).
+
+        One vectorized comparison against Ω's slot-utility array finds the
+        rows with a better occupant; only those rows are rewritten.  The
+        replaced row keeps its selection fitness (see
+        :meth:`Population.replace_row`).
+        """
+        feasible_rows = np.flatnonzero(population.feasible)
+        if feasible_rows.size == 0:
+            return
+        slots = optimal_set.slots_of(population.metadata["privacy"][feasible_rows])
+        occupant_utility = optimal_set.slot_utilities()[slots]
+        better = occupant_utility < population.metadata["utility"][feasible_rows]
+        for row, slot in zip(feasible_rows[better], slots[better]):
+            occupant = optimal_set.best_for_slot(int(slot))
+            if occupant is None:  # pragma: no cover - slot utility implies occupancy
                 continue
-            slot = optimal_set.slot_of(float(individual.metadata["privacy"]))
-            occupant = optimal_set.best_for_slot(slot)
-            if occupant is None:
-                continue
-            if float(occupant.metadata["utility"]) < float(individual.metadata["utility"]):
-                individuals[index] = occupant.copy()
+            population.replace_row(
+                int(row),
+                genome=occupant.genome.probabilities,
+                objectives=occupant.objectives,
+                feasible=occupant.feasible,
+                metadata=occupant.metadata,
+            )

@@ -30,6 +30,7 @@ from repro.core.operators import (
 )
 from repro.data.distribution import CategoricalDistribution
 from repro.emoo.individual import Individual
+from repro.emoo.population import Population
 from repro.emoo.problem import Problem
 from repro.metrics.evaluation import MatrixEvaluator
 from repro.rr.matrix import RRMatrix, stack_matrices, unstack_matrices
@@ -135,6 +136,65 @@ class RRMatrixProblem(Problem):
             return []
         return self.evaluate_stack(stack_matrices(list(genomes)), genomes=list(genomes))
 
+    def evaluate_population(self, stack: np.ndarray) -> Population:
+        """Evaluate a ``(B, n, n)`` stack into a structure-of-arrays population.
+
+        This is the optimizer hot path: one call computes privacy, utility,
+        worst posterior and feasibility for the whole stack with batched
+        linear algebra, and the stack itself becomes the population's genome
+        array — no per-matrix ``RRMatrix`` construction or re-validation
+        happens inside the generation loop.  ``Individual`` views (with
+        validated :class:`RRMatrix` genomes) are materialised only at the
+        result boundary via :meth:`population_individual`.
+        """
+        evaluation = self._evaluator.evaluate_batch(stack)
+        self._n_evaluations += len(evaluation)
+        finite_utility = np.where(
+            np.isfinite(evaluation.utility), evaluation.utility, SINGULAR_UTILITY_PENALTY
+        )
+        objectives = np.stack([-evaluation.privacy, finite_utility], axis=1)
+        return Population(
+            genomes=np.asarray(stack, dtype=np.float64),
+            objectives=objectives,
+            feasible=np.asarray(evaluation.feasible, dtype=bool),
+            metadata={
+                "privacy": np.asarray(evaluation.privacy, dtype=np.float64),
+                "utility": np.asarray(evaluation.utility, dtype=np.float64),
+                "max_posterior": np.asarray(evaluation.max_posterior, dtype=np.float64),
+                "invertible": np.asarray(evaluation.invertible, dtype=bool),
+            },
+        )
+
+    def population_individual(self, population: Population, index: int) -> Individual:
+        """``Individual`` view of one population row (the array-to-object
+        boundary).  The genome row was produced by the engine's own operators,
+        so it wraps through the trusted :meth:`RRMatrix.from_validated` path
+        instead of re-validating per matrix."""
+        return population.individual(index, genome_builder=RRMatrix.from_validated)
+
+    def population_to_individuals(self, population: Population) -> list[Individual]:
+        """Materialise a whole population as ``Individual`` views."""
+        return population.to_individuals(genome_builder=RRMatrix.from_validated)
+
+    def initial_population_soa(self, size: int, rng: np.random.Generator) -> Population:
+        """Create, batch-repair and batch-evaluate ``size`` random genomes
+        into a structure-of-arrays population.
+
+        Same random stream as :meth:`initial_population` (the draws happen
+        sequentially); the matrices are stacked once and never unpacked.
+        """
+        check_positive_int(size, "size")
+        raw = np.empty((size, self.n_categories, self.n_categories))
+        for index in range(size):
+            self._counter += 1
+            raw[index] = random_initial_matrix(
+                self.n_categories,
+                rng,
+                kind=self._counter,
+                diagonal_bias=self.diagonal_bias,
+            ).probabilities
+        return self.evaluate_population(self.repair_stack(raw))
+
     def evaluate_stack(
         self,
         stack: np.ndarray,
@@ -143,32 +203,25 @@ class RRMatrixProblem(Problem):
     ) -> list[Individual]:
         """Evaluate a ``(B, n, n)`` stack of matrices into individuals.
 
-        This is the optimizer hot path: one call computes privacy, utility,
-        worst posterior and feasibility for the whole stack with batched
-        linear algebra.  ``genomes`` can supply pre-built :class:`RRMatrix`
-        objects for the individuals; otherwise the stack is unstacked.
+        ``Individual``-list boundary over :meth:`evaluate_population`.
+        ``genomes`` can supply pre-built :class:`RRMatrix` objects for the
+        individuals; otherwise the stack is unstacked.
         """
-        evaluation = self._evaluator.evaluate_batch(stack)
-        size = len(evaluation)
-        self._n_evaluations += size
+        population = self.evaluate_population(stack)
         if genomes is None:
             genomes = unstack_matrices(stack)
-        finite_utility = np.where(
-            np.isfinite(evaluation.utility), evaluation.utility, SINGULAR_UTILITY_PENALTY
-        )
-        objectives = np.stack([-evaluation.privacy, finite_utility], axis=1)
         individuals = []
-        for index in range(size):
+        for index in range(population.size):
             individuals.append(
                 Individual(
                     genome=genomes[index],
-                    objectives=objectives[index],
-                    feasible=bool(evaluation.feasible[index]),
+                    objectives=population.objectives[index],
+                    feasible=bool(population.feasible[index]),
                     metadata={
-                        "privacy": float(evaluation.privacy[index]),
-                        "utility": float(evaluation.utility[index]),
-                        "max_posterior": float(evaluation.max_posterior[index]),
-                        "invertible": bool(evaluation.invertible[index]),
+                        "privacy": float(population.metadata["privacy"][index]),
+                        "utility": float(population.metadata["utility"][index]),
+                        "max_posterior": float(population.metadata["max_posterior"][index]),
+                        "invertible": bool(population.metadata["invertible"][index]),
                     },
                 )
             )

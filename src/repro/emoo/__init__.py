@@ -20,8 +20,16 @@ from repro.emoo.dominance import (
     pareto_ranks_reference,
 )
 from repro.emoo.fitness import assign_spea2_fitness, spea2_fitness_from_arrays
-from repro.emoo.density import kth_nearest_distances, spea2_density
-from repro.emoo.selection import binary_tournament, environmental_selection
+from repro.emoo.density import kth_nearest_distances, pairwise_distances, spea2_density
+from repro.emoo.population import Population
+from repro.emoo.selection import (
+    binary_tournament,
+    binary_tournament_indices,
+    environmental_selection,
+    environmental_selection_indices,
+    truncate_archive,
+    truncate_indices,
+)
 from repro.emoo.problem import Problem
 from repro.emoo.spea2 import SPEA2, SPEA2Settings
 from repro.emoo.nsga2 import NSGA2, NSGA2Settings, crowding_distances_from_objectives
@@ -43,6 +51,7 @@ __all__ = [
     "MaxGenerations",
     "NSGA2",
     "NSGA2Settings",
+    "Population",
     "Problem",
     "SPEA2",
     "SPEA2Settings",
@@ -52,19 +61,24 @@ __all__ = [
     "WeightedSumSettings",
     "assign_spea2_fitness",
     "binary_tournament",
+    "binary_tournament_indices",
     "coverage",
     "crowding_distances_from_objectives",
     "dominance_matrix_from_arrays",
     "dominates",
     "environmental_selection",
+    "environmental_selection_indices",
     "epsilon_indicator",
     "hypervolume_2d",
     "kth_nearest_distances",
     "non_dominated",
+    "pairwise_distances",
     "pareto_ranks",
     "pareto_ranks_from_arrays",
     "pareto_ranks_reference",
     "spea2_density",
     "spea2_fitness_from_arrays",
     "spread_2d",
+    "truncate_archive",
+    "truncate_indices",
 ]

@@ -38,15 +38,23 @@ def pairwise_distances(objectives: np.ndarray) -> np.ndarray:
     return np.sqrt(np.einsum("ijk,ijk->ij", deltas, deltas))
 
 
-def kth_nearest_distances(objectives: np.ndarray, k: int = 1) -> np.ndarray:
+def kth_nearest_distances(
+    objectives: np.ndarray, k: int = 1, *, distances: np.ndarray | None = None
+) -> np.ndarray:
     """Distance of every point to its ``k``-th nearest *other* point.
 
     ``k`` is clamped to the number of other points, so tiny populations do not
-    raise.  With a single point the distance is defined as infinity.
+    raise.  With a single point the distance is defined as infinity.  A
+    precomputed pairwise ``distances`` matrix can be passed so the generation
+    loop computes it once and shares it between density estimation and archive
+    truncation (the matrix is not modified).
     """
     if k < 1:
         raise OptimizationError(f"k must be at least 1, got {k}")
-    distances = pairwise_distances(objectives)
+    if distances is None:
+        distances = pairwise_distances(objectives)
+    else:
+        distances = np.array(distances, dtype=np.float64)
     size = distances.shape[0]
     if size == 0:
         return np.empty(0)
@@ -58,13 +66,16 @@ def kth_nearest_distances(objectives: np.ndarray, k: int = 1) -> np.ndarray:
     return sorted_distances[:, effective_k - 1]
 
 
-def spea2_density(objectives: np.ndarray, k: int = 1) -> np.ndarray:
+def spea2_density(
+    objectives: np.ndarray, k: int = 1, *, distances: np.ndarray | None = None
+) -> np.ndarray:
     """SPEA2 density ``d(i) = 1 / (sigma_i^k + 2)`` for every individual.
 
     The ``+ 2`` guarantees the density is strictly below one, so it only
     discriminates between individuals with identical raw fitness (whose raw
-    fitness values differ by at least one otherwise).
+    fitness values differ by at least one otherwise).  ``distances`` optionally
+    supplies the precomputed pairwise distance matrix.
     """
-    sigma = kth_nearest_distances(objectives, k)
+    sigma = kth_nearest_distances(objectives, k, distances=distances)
     finite_sigma = np.where(np.isfinite(sigma), sigma, np.finfo(np.float64).max / 4)
     return 1.0 / (finite_sigma + 2.0)

@@ -28,12 +28,16 @@ def spea2_fitness_from_arrays(
     objectives: np.ndarray,
     feasible: np.ndarray | None = None,
     k: int = 1,
+    *,
+    distances: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """SPEA2 strength, density and fitness over raw objective arrays.
 
     Returns ``(strengths, densities, fitness)``; every step (dominance
     matrix, strength sums, raw fitness, kth-nearest density) is a matrix
-    reduction with no per-individual Python work.
+    reduction with no per-individual Python work.  ``distances`` optionally
+    supplies a precomputed pairwise objective-distance matrix so the
+    generation loop computes it once and shares it with archive truncation.
     """
     objectives = np.asarray(objectives, dtype=np.float64)
     size = objectives.shape[0]
@@ -42,7 +46,7 @@ def spea2_fitness_from_arrays(
     matrix = dominance_matrix_from_arrays(objectives, feasible)
     strengths = matrix.sum(axis=1)
     raw_fitness = (matrix * strengths[:, None]).sum(axis=0).astype(np.float64)
-    densities = spea2_density(objectives, k)
+    densities = spea2_density(objectives, k, distances=distances)
     return strengths, densities, raw_fitness + densities
 
 

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.emoo.dominance import non_dominated, pareto_ranks
+from repro.emoo.dominance import non_dominated, pareto_ranks_from_arrays
 from repro.emoo.individual import Individual, objectives_array
+from repro.emoo.population import Population
 from repro.emoo.problem import Problem
 from repro.emoo.termination import GenerationState, MaxGenerations, TerminationCriterion
 from repro.exceptions import OptimizationError
@@ -102,86 +103,140 @@ class NSGA2:
     seed: SeedLike = None
 
     def run(self) -> NSGA2Result:
-        """Run the optimization and return the result."""
+        """Run the optimization and return the result.
+
+        Array-native: rank and crowding live as arrays alongside a
+        structure-of-arrays :class:`~repro.emoo.population.Population`; the
+        crowded binary tournament draws and decides every pair in one
+        vectorized step; per-individual attribute writes happen only at the
+        result boundary.
+        """
         rng = as_rng(self.seed)
         self.termination.reset()
         settings = self.settings
-        population = self.problem.initial_population(settings.population_size, rng)
-        if not population:
+        initial = self.problem.initial_population(settings.population_size, rng)
+        if not initial:
             raise OptimizationError("the problem produced an empty initial population")
-        self._rank_and_crowd(population)
-        n_evaluations = len(population)
+        population = Population.from_individuals(initial)
+        ranks, crowding = self._rank_and_crowd_arrays(population)
+        n_evaluations = population.size
         generation = 0
         while True:
-            offspring = self.problem.evaluate_genomes(self._make_offspring(population, rng))
-            n_evaluations += len(offspring)
-            population = self._select_next_generation(population + offspring)
+            offspring_genomes = self._make_offspring(population, ranks, crowding, rng)
+            offspring = Population.from_individuals(
+                self.problem.evaluate_genomes(offspring_genomes)
+            )
+            n_evaluations += offspring.size
+            union = Population.concat(population, offspring)
+            population, ranks, crowding = self._select_next_generation(union)
             state = GenerationState(generation=generation, archive_updates=1)
             if self.termination.should_stop(state):
                 break
             generation += 1
-        front = non_dominated(population)
+        # Result boundary: materialise views with their rank/crowding fields.
+        individuals = population.to_individuals()
+        for index, individual in enumerate(individuals):
+            individual.rank = int(ranks[index])
+            individual.crowding = float(crowding[index])
+        front = non_dominated(individuals)
         return NSGA2Result(
-            population=population,
+            population=individuals,
             front=front,
             n_generations=generation + 1,
             n_evaluations=n_evaluations,
         )
 
     # -- internals -----------------------------------------------------------
-    def _rank_and_crowd(self, population: list[Individual]) -> None:
-        ranks = pareto_ranks(population)
-        objectives = objectives_array(population)
+    def _rank_and_crowd_arrays(
+        self, population: Population
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pareto ranks and per-front crowding distances as arrays."""
+        ranks = pareto_ranks_from_arrays(population.objectives, population.feasible)
+        crowding = np.zeros(population.size)
         for rank in range(int(ranks.max()) + 1 if ranks.size else 0):
             front_index = np.flatnonzero(ranks == rank)
-            distances = crowding_distances_from_objectives(objectives[front_index])
-            for index, distance in zip(front_index, distances):
-                population[index].crowding = float(distance)
+            crowding[front_index] = crowding_distances_from_objectives(
+                population.objectives[front_index]
+            )
+        return ranks, crowding
 
-    def _select_next_generation(self, union: list[Individual]) -> list[Individual]:
+    def _select_next_generation(
+        self, union: Population
+    ) -> tuple[Population, np.ndarray, np.ndarray]:
+        """Fill the next generation front by front, splitting the last front
+        on crowding distance; returns the survivors with their rank and
+        crowding arrays (aligned to the returned population)."""
         target = self.settings.population_size
-        ranks = pareto_ranks(union)
-        objectives = objectives_array(union)
-        next_population: list[Individual] = []
+        ranks = pareto_ranks_from_arrays(union.objectives, union.feasible)
+        crowding = np.zeros(union.size)
+        chosen: list[np.ndarray] = []
+        n_chosen = 0
         for rank in range(int(ranks.max()) + 1):
             front_index = np.flatnonzero(ranks == rank)
-            distances = crowding_distances_from_objectives(objectives[front_index])
-            for index, distance in zip(front_index, distances):
-                union[index].crowding = float(distance)
-            if len(next_population) + front_index.size <= target:
-                next_population.extend(union[index] for index in front_index)
+            distances = crowding_distances_from_objectives(union.objectives[front_index])
+            crowding[front_index] = distances
+            if n_chosen + front_index.size <= target:
+                chosen.append(front_index)
+                n_chosen += front_index.size
             else:
                 # Stable sort on negated crowding keeps original order between
                 # ties, matching the list.sort(reverse=True) it replaces.
                 order = np.argsort(-distances, kind="stable")
-                needed = target - len(next_population)
-                next_population.extend(union[front_index[index]] for index in order[:needed])
-            if len(next_population) >= target:
+                chosen.append(front_index[order[: target - n_chosen]])
+                n_chosen = target
+            if n_chosen >= target:
                 break
-        return next_population
+        selected = np.concatenate(chosen)
+        return union.take(selected), ranks[selected], crowding[selected]
 
-    def _make_offspring(self, population: list[Individual], rng: np.random.Generator) -> list:
+    def _make_offspring(
+        self,
+        population: Population,
+        ranks: np.ndarray,
+        crowding: np.ndarray,
+        rng: np.random.Generator,
+    ) -> list:
+        """Crowded-tournament mating selection + crossover + mutation.
+
+        All tournament pairs and the crossover/mutation decision masks are
+        drawn up front in vectorized steps (one ``integers`` call for the
+        parents, one ``random`` call per mask); genome variation stays
+        per-pair because genomes are opaque at this layer.
+        """
         settings = self.settings
+        n_pairs = (settings.population_size + 1) // 2
+        contenders = rng.integers(0, population.size, size=(2 * n_pairs, 2))
+        winners = self._crowded_winners(contenders, ranks, crowding)
+        crossed = rng.random(size=n_pairs) < settings.crossover_rate
         genomes = []
-        while len(genomes) < settings.population_size:
-            parent_a = self._tournament(population, rng)
-            parent_b = self._tournament(population, rng)
-            if rng.random() < settings.crossover_rate:
-                child_a, child_b = self.problem.crossover(parent_a.genome, parent_b.genome, rng)
+        for pair in range(n_pairs):
+            first = population.genome_at(winners[2 * pair])
+            second = population.genome_at(winners[2 * pair + 1])
+            if crossed[pair]:
+                child_a, child_b = self.problem.crossover(first, second, rng)
             else:
-                child_a, child_b = parent_a.genome, parent_b.genome
+                child_a, child_b = first, second
             genomes.extend([child_a, child_b])
         genomes = genomes[: settings.population_size]
+        mutated_mask = rng.random(size=len(genomes)) < settings.mutation_rate
         finished = []
-        for genome in genomes:
-            if rng.random() < settings.mutation_rate:
+        for index, genome in enumerate(genomes):
+            if mutated_mask[index]:
                 genome = self.problem.mutate(genome, rng)
             finished.append(genome)
         # Repair runs over the whole offspring list at once so batch-capable
         # problems (RR matrices) vectorize it.
         return self.problem.repair_genomes(finished, rng)
 
-    def _tournament(self, population: list[Individual], rng: np.random.Generator) -> Individual:
-        first, second = rng.integers(0, len(population), size=2)
-        a, b = population[first], population[second]
-        return a if _crowded_better(a, b) else b
+    @staticmethod
+    def _crowded_winners(
+        contenders: np.ndarray, ranks: np.ndarray, crowding: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized crowded-comparison tournaments: lower rank wins, ties
+        broken by larger crowding distance, full ties go to the second
+        contestant (as in the sequential :func:`_crowded_better`)."""
+        first, second = contenders[:, 0], contenders[:, 1]
+        first_wins = (ranks[first] < ranks[second]) | (
+            (ranks[first] == ranks[second]) & (crowding[first] > crowding[second])
+        )
+        return np.where(first_wins, first, second)

@@ -1,0 +1,293 @@
+"""Structure-of-arrays population state for the EMOO generation loop.
+
+The generation loop of every algorithm in this package is dominated by
+population-level math: dominance matrices, pairwise distances, fitness
+reductions, index-based selection.  Shuttling per-candidate ``Individual``
+objects through Python lists puts object construction and attribute access on
+that hot path.  :class:`Population` removes it: one object holds the whole
+population as parallel arrays — a stacked genome array, an ``(P, m)``
+objective matrix, a feasibility mask, columnar metadata and a fitness
+vector — and every algorithm step works on index arrays over those columns.
+
+Genomes are stacked once, at the boundary where candidates enter the engine
+(:meth:`repro.core.problem.RRMatrixProblem.evaluate_population` produces the
+``(P, n, n)`` stack directly from the batch evaluator), and only sliced by
+index thereafter; no per-generation re-packing, validation or unpacking
+happens inside the loop.  ``Individual`` remains as a thin *view* for the
+result boundary: :meth:`Population.individual` / :meth:`to_individuals`
+materialise per-candidate objects only when a caller asks for them.
+
+Generic problems whose genomes are opaque Python objects are supported too:
+:meth:`Population.from_individuals` keeps the evaluated ``Individual`` views
+in the ``source`` column (and the genomes in an object array), so SPEA2 and
+NSGA-II run the same array-native selection math regardless of genome type.
+
+Fitness freshness is tracked with a generation stamp
+(:attr:`Population.fitness_generation`): environmental selection stamps the
+archive it returns, and mating selection asserts the stamp instead of
+recomputing fitness — the redundant per-generation SPEA2 fitness
+re-assignment the list-based loop performed cannot silently reappear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.emoo.individual import Individual
+from repro.exceptions import OptimizationError
+
+#: Builds a genome object from one row of the stacked genome array (used by
+#: the ``Individual`` views of array-backed populations).
+GenomeBuilder = Callable[[np.ndarray], Any]
+
+
+def _metadata_scalar(value: Any) -> Any:
+    """Convert a numpy scalar metadata entry to the plain Python value the
+    list-based engine stored (floats stay floats, bools stay bools)."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    return value
+
+
+@dataclass
+class Population:
+    """One population as a structure of arrays.
+
+    Parameters
+    ----------
+    genomes:
+        Stacked genome array.  Either a numeric ``(P, ...)`` stack (the RR
+        path: ``(P, n, n)`` matrices) or a ``(P,)`` object array of opaque
+        genomes (the generic path).
+    objectives:
+        ``(P, m)`` objective matrix (minimisation convention).
+    feasible:
+        ``(P,)`` boolean feasibility mask.
+    metadata:
+        Columnar metadata: each key maps to a ``(P,)`` array (e.g. the RR
+        problem's ``privacy`` / ``utility`` / ``max_posterior`` columns).
+    source:
+        Optional per-row ``Individual`` views.  Set by
+        :meth:`from_individuals` so generic problems keep their evaluated
+        objects; ``None`` on the array-native RR path.
+    fitness:
+        ``(P,)`` SPEA2 fitness; ``NaN`` until :meth:`set_fitness` stamps it.
+    fitness_generation:
+        Generation stamp of the last :meth:`set_fitness` call (``-1`` when
+        fitness has never been assigned).  Mating selection checks this stamp
+        instead of re-running fitness assignment.
+    """
+
+    genomes: np.ndarray
+    objectives: np.ndarray
+    feasible: np.ndarray
+    metadata: dict[str, np.ndarray] = field(default_factory=dict)
+    source: list[Individual] | None = None
+    fitness: np.ndarray = field(default=None)  # type: ignore[assignment]
+    fitness_generation: int = -1
+
+    def __post_init__(self) -> None:
+        self.objectives = np.asarray(self.objectives, dtype=np.float64)
+        if self.objectives.ndim != 2:
+            raise OptimizationError(
+                f"objectives must be 2-D, got shape {self.objectives.shape}"
+            )
+        size = self.objectives.shape[0]
+        self.feasible = np.asarray(self.feasible, dtype=bool)
+        if self.feasible.shape != (size,):
+            raise OptimizationError(
+                f"feasible mask must have shape ({size},), got {self.feasible.shape}"
+            )
+        if len(self.genomes) != size:
+            raise OptimizationError(
+                f"genome stack has {len(self.genomes)} rows for {size} objectives"
+            )
+        for key, column in self.metadata.items():
+            if len(column) != size:
+                raise OptimizationError(
+                    f"metadata column {key!r} has {len(column)} rows for {size} objectives"
+                )
+        if self.source is not None and len(self.source) != size:
+            raise OptimizationError(
+                f"source list has {len(self.source)} rows for {size} objectives"
+            )
+        if self.fitness is None:
+            self.fitness = np.full(size, np.nan)
+        else:
+            self.fitness = np.asarray(self.fitness, dtype=np.float64)
+            if self.fitness.shape != (size,):
+                raise OptimizationError(
+                    f"fitness must have shape ({size},), got {self.fitness.shape}"
+                )
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_individuals(cls, individuals: list[Individual]) -> "Population":
+        """Wrap evaluated ``Individual`` objects into a population.
+
+        The objects are kept as the ``source`` column so views returned later
+        are the same objects the problem produced (genomes stay opaque).
+        """
+        if not individuals:
+            raise OptimizationError("cannot build a population from no individuals")
+        genomes = np.empty(len(individuals), dtype=object)
+        for index, individual in enumerate(individuals):
+            genomes[index] = individual.genome
+        return cls(
+            genomes=genomes,
+            objectives=np.vstack([individual.objectives for individual in individuals]),
+            feasible=np.array([individual.feasible for individual in individuals], dtype=bool),
+            source=list(individuals),
+        )
+
+    @classmethod
+    def concat(cls, first: "Population", second: "Population") -> "Population":
+        """Concatenate two populations (the per-generation union ``Q_t + V_t``).
+
+        Fitness is *not* carried over: the union is about to go through a
+        fresh fitness assignment, and a stale stamp must not survive the
+        concatenation.
+        """
+        if set(first.metadata) != set(second.metadata):
+            raise OptimizationError(
+                "cannot concatenate populations with different metadata columns "
+                f"({sorted(first.metadata)} != {sorted(second.metadata)})"
+            )
+        source: list[Individual] | None = None
+        if first.source is not None and second.source is not None:
+            source = first.source + second.source
+        return cls(
+            genomes=np.concatenate([first.genomes, second.genomes]),
+            objectives=np.concatenate([first.objectives, second.objectives]),
+            feasible=np.concatenate([first.feasible, second.feasible]),
+            metadata={
+                key: np.concatenate([first.metadata[key], second.metadata[key]])
+                for key in first.metadata
+            },
+            source=source,
+        )
+
+    # -- shape ---------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of candidates."""
+        return int(self.objectives.shape[0])
+
+    def __len__(self) -> int:
+        return self.size
+
+    # -- indexing -------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Population":
+        """New population holding the rows at ``indices`` (fancy-index copy).
+
+        Fitness values and the generation stamp are carried along, so an
+        archive selected out of a freshly-stamped union keeps its stamp.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        source = None
+        if self.source is not None:
+            source = [self.source[index] for index in indices]
+        return Population(
+            genomes=self.genomes[indices],
+            objectives=self.objectives[indices],
+            feasible=self.feasible[indices],
+            metadata={key: column[indices] for key, column in self.metadata.items()},
+            source=source,
+            fitness=self.fitness[indices],
+            fitness_generation=self.fitness_generation,
+        )
+
+    def genome_at(self, index: int) -> Any:
+        """The genome of row ``index`` (an array row or an opaque object)."""
+        return self.genomes[index]
+
+    def replace_row(
+        self,
+        index: int,
+        *,
+        genome: Any,
+        objectives: np.ndarray,
+        feasible: bool,
+        metadata: dict[str, Any],
+        individual: Individual | None = None,
+    ) -> None:
+        """Overwrite one candidate in place (the Ω back-injection step).
+
+        The row's fitness value is deliberately *kept*: the injected candidate
+        inherits the selection fitness of the member it replaces, so the
+        archive's generation stamp stays truthful for mating selection.  (The
+        list-based loop reset the fitness to NaN and papered over it with a
+        redundant re-assignment; see ``docs/architecture.md``.)
+        """
+        self.genomes[index] = genome
+        self.objectives[index] = np.asarray(objectives, dtype=np.float64)
+        self.feasible[index] = bool(feasible)
+        for key, column in self.metadata.items():
+            column[index] = metadata[key]
+        if self.source is not None:
+            if individual is None:
+                raise OptimizationError(
+                    "replace_row on a source-backed population needs the Individual view"
+                )
+            self.source[index] = individual
+
+    # -- fitness --------------------------------------------------------------
+    def set_fitness(self, fitness: np.ndarray, generation: int) -> None:
+        """Store the fitness column and stamp the generation it belongs to."""
+        fitness = np.asarray(fitness, dtype=np.float64)
+        if fitness.shape != (self.size,):
+            raise OptimizationError(
+                f"fitness must have shape ({self.size},), got {fitness.shape}"
+            )
+        self.fitness = fitness
+        self.fitness_generation = generation
+
+    def require_fresh_fitness(self, generation: int) -> np.ndarray:
+        """Return the fitness column, asserting it was stamped at ``generation``.
+
+        This is the staleness guard behind the removal of the redundant
+        per-generation fitness re-assignment: if a caller ever reaches mating
+        selection without the environmental-selection fitness of the same
+        generation, it fails loudly instead of silently recomputing.
+        """
+        if self.fitness_generation != generation:
+            raise OptimizationError(
+                f"stale fitness: stamped at generation {self.fitness_generation}, "
+                f"mating selection runs at generation {generation}"
+            )
+        return self.fitness
+
+    # -- views ----------------------------------------------------------------
+    def individual(self, index: int, genome_builder: GenomeBuilder | None = None) -> Individual:
+        """Materialise one row as an :class:`Individual` view."""
+        if self.source is not None:
+            individual = self.source[index]
+            if not np.isnan(self.fitness[index]):
+                individual.fitness = float(self.fitness[index])
+            return individual
+        genome = self.genomes[index]
+        if genome_builder is not None:
+            genome = genome_builder(genome)
+        individual = Individual(
+            genome=genome,
+            objectives=self.objectives[index].copy(),
+            feasible=bool(self.feasible[index]),
+            metadata={
+                key: _metadata_scalar(column[index])
+                for key, column in self.metadata.items()
+            },
+        )
+        if not np.isnan(self.fitness[index]):
+            individual.fitness = float(self.fitness[index])
+        return individual
+
+    def to_individuals(self, genome_builder: GenomeBuilder | None = None) -> list[Individual]:
+        """Materialise the whole population as ``Individual`` views."""
+        return [self.individual(index, genome_builder) for index in range(self.size)]

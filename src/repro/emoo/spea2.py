@@ -16,11 +16,16 @@ from typing import Callable
 
 import numpy as np
 
+from repro.emoo.density import pairwise_distances
 from repro.emoo.dominance import non_dominated
-from repro.emoo.fitness import assign_spea2_fitness
+from repro.emoo.fitness import spea2_fitness_from_arrays
 from repro.emoo.individual import Individual
+from repro.emoo.population import Population
 from repro.emoo.problem import Problem
-from repro.emoo.selection import binary_tournament, environmental_selection
+from repro.emoo.selection import (
+    binary_tournament_indices,
+    environmental_selection_indices,
+)
 from repro.emoo.termination import GenerationState, MaxGenerations, TerminationCriterion
 from repro.exceptions import OptimizationError
 from repro.types import SeedLike, as_rng
@@ -110,34 +115,44 @@ class SPEA2:
     seed: SeedLike = None
 
     def run(self, on_generation: GenerationCallback | None = None) -> SPEA2Result:
-        """Run the optimization and return the result."""
+        """Run the optimization and return the result.
+
+        The generation loop is array-native: population and archive are
+        structure-of-arrays :class:`~repro.emoo.population.Population`
+        objects (genomes stay opaque), the per-generation pairwise distance
+        matrix is shared between density estimation and truncation, and
+        mating selection reuses the stamped environmental-selection fitness
+        instead of re-assigning SPEA2 fitness to the archive.
+        """
         rng = as_rng(self.seed)
         self.termination.reset()
         settings = self.settings
-        population = self.problem.initial_population(settings.population_size, rng)
-        if not population:
+        initial = self.problem.initial_population(settings.population_size, rng)
+        if not initial:
             raise OptimizationError("the problem produced an empty initial population")
-        archive: list[Individual] = []
-        n_evaluations = len(population)
+        population = Population.from_individuals(initial)
+        archive: Population | None = None
+        n_evaluations = population.size
         generation = 0
         while True:
-            union = population + archive
-            archive = environmental_selection(
-                union, settings.archive_size, density_k=settings.density_k
+            union = population if archive is None else Population.concat(population, archive)
+            archive = self._environmental_selection(union, generation)
+            offspring_genomes = self._make_offspring(archive, rng, generation)
+            population = Population.from_individuals(
+                self.problem.evaluate_genomes(offspring_genomes)
             )
-            offspring_genomes = self._make_offspring(archive, rng)
-            population = self.problem.evaluate_genomes(offspring_genomes)
-            n_evaluations += len(population)
+            n_evaluations += population.size
             if on_generation is not None:
-                on_generation(generation, archive)
+                on_generation(generation, archive.to_individuals())
             state = GenerationState(generation=generation, archive_updates=1)
             if self.termination.should_stop(state):
                 break
             generation += 1
         # Final selection over the last population and archive.
-        final_archive = environmental_selection(
-            population + archive, settings.archive_size, density_k=settings.density_k
+        final = self._environmental_selection(
+            Population.concat(population, archive), generation
         )
+        final_archive = final.to_individuals()
         front = non_dominated(final_archive)
         logger.debug(
             "SPEA2 finished after %d generations (%d evaluations, front size %d)",
@@ -153,17 +168,38 @@ class SPEA2:
         )
 
     # -- internals -----------------------------------------------------------
+    def _environmental_selection(self, union: Population, generation: int) -> Population:
+        """Array-native fitness assignment + environmental selection, with
+        the selected archive stamped for fitness reuse."""
+        distances = pairwise_distances(union.objectives)
+        _, _, fitness = spea2_fitness_from_arrays(
+            union.objectives, union.feasible, self.settings.density_k, distances=distances
+        )
+        selected = environmental_selection_indices(
+            fitness, self.settings.archive_size, distances=distances
+        )
+        archive = union.take(selected)
+        archive.set_fitness(fitness[selected], generation)
+        return archive
+
     def _make_offspring(
-        self, archive: list[Individual], rng: np.random.Generator
+        self, archive: Population, rng: np.random.Generator, generation: int
     ) -> list:
-        """Mating selection + crossover + mutation + repair -> genomes."""
+        """Mating selection + crossover + mutation + repair -> genomes.
+
+        Mating selection reuses the generation-stamped fitness; genome
+        variation stays per-pair because genomes are opaque here (the
+        RR-matrix driver in :mod:`repro.core.optimizer` uses the fully
+        batched stack operators instead).
+        """
         settings = self.settings
-        assign_spea2_fitness(archive, settings.density_k)
-        parents = binary_tournament(archive, settings.population_size, seed=rng)
+        fitness = archive.require_fresh_fitness(generation)
+        winners = binary_tournament_indices(fitness, settings.population_size, rng)
+        parents = [archive.genome_at(index) for index in winners]
         genomes = []
         for index in range(0, len(parents), 2):
-            first = parents[index].genome
-            second = parents[(index + 1) % len(parents)].genome
+            first = parents[index]
+            second = parents[(index + 1) % len(parents)]
             if rng.random() < settings.crossover_rate:
                 child_a, child_b = self.problem.crossover(first, second, rng)
             else:

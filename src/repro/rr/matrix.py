@@ -56,6 +56,24 @@ class RRMatrix:
         return cls(np.asarray(rows, dtype=np.float64))
 
     @classmethod
+    def from_validated(cls, probabilities: np.ndarray) -> "RRMatrix":
+        """Wrap an already-validated column-stochastic array without re-checking.
+
+        This is the trusted fast path for arrays produced *inside* the
+        optimization engine (the batched operators and the bound repair only
+        emit column-stochastic matrices), where re-running the ``allclose``
+        validation per matrix would put object construction back on the hot
+        path.  The array is still copied and frozen, so the instance owns
+        immutable storage.  Use the regular constructor for untrusted input.
+        """
+        matrix = np.array(probabilities, dtype=np.float64)
+        matrix.flags.writeable = False
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "probabilities", matrix)
+        object.__setattr__(instance, "_inverse_cache", [])
+        return instance
+
+    @classmethod
     def identity(cls, n_categories: int) -> "RRMatrix":
         """The identity matrix: no disguise at all (worst privacy, best
         utility; the paper's ``M1`` example)."""

@@ -141,3 +141,90 @@ class TestQueries:
         omega = OptimalSet(100)
         omega.offer(make_member(0.3, 1e-3))
         assert omega.best_privacy_for_utility(1e-6) is None
+
+
+class TestOfferPopulation:
+    """Vectorized population offers must make the same accept/reject
+    decisions (and update counts) as offering the rows sequentially."""
+
+    @staticmethod
+    def _random_population(rng, size):
+        from repro.emoo.population import Population
+
+        privacy = rng.uniform(0.0, 1.0, size)
+        utility = rng.uniform(1e-6, 1e-3, size)
+        # A few infeasible and a few non-finite-utility rows.
+        feasible = rng.random(size) > 0.2
+        utility[rng.random(size) < 0.1] = np.inf
+        return Population(
+            genomes=rng.random((size, 3, 3)),
+            objectives=np.stack([-privacy, utility], axis=1),
+            feasible=feasible,
+            metadata={
+                "privacy": privacy,
+                "utility": utility,
+                "max_posterior": rng.uniform(0.0, 1.0, size),
+                "invertible": np.ones(size, dtype=bool),
+            },
+        )
+
+    @staticmethod
+    def _views(population):
+        return [
+            population.individual(index, genome_builder=lambda row: row)
+            for index in range(population.size)
+        ]
+
+    def test_matches_sequential_offers(self):
+        rng = np.random.default_rng(3)
+        for trial in range(5):
+            vectorized = OptimalSet(40)
+            sequential = OptimalSet(40)
+            for _ in range(3):  # several batches so occupied slots interact
+                population = self._random_population(rng, 30)
+                accepted_vec = vectorized.offer_population(
+                    population, lambda i: population.individual(i, genome_builder=lambda row: row)
+                )
+                accepted_seq = sequential.offer_many(self._views(population))
+                assert accepted_vec == accepted_seq
+            assert vectorized.n_updates == sequential.n_updates
+            assert vectorized.n_occupied == sequential.n_occupied
+            for slot in range(40):
+                ours = vectorized.best_for_slot(slot)
+                theirs = sequential.best_for_slot(slot)
+                assert (ours is None) == (theirs is None)
+                if ours is not None:
+                    assert ours.metadata["utility"] == theirs.metadata["utility"]
+                    assert ours.metadata["privacy"] == theirs.metadata["privacy"]
+
+    def test_duplicate_slot_candidates_in_one_batch(self):
+        """Two same-slot candidates in one batch: only the better one lands,
+        exactly like sequential offers."""
+        from repro.emoo.population import Population
+
+        privacy = np.array([0.505, 0.505, 0.505])
+        utility = np.array([3e-4, 1e-4, 2e-4])
+        population = Population(
+            genomes=np.zeros((3, 2, 2)),
+            objectives=np.stack([-privacy, utility], axis=1),
+            feasible=np.ones(3, dtype=bool),
+            metadata={"privacy": privacy, "utility": utility},
+        )
+        omega = OptimalSet(10)
+        accepted = omega.offer_population(
+            population, lambda i: population.individual(i, genome_builder=lambda row: row)
+        )
+        # Sequential semantics: 3e-4 lands, then 1e-4 replaces it, 2e-4 loses.
+        assert accepted == 2
+        assert omega.n_occupied == 1
+        assert omega.best_for_slot(omega.slot_of(0.505)).metadata["utility"] == 1e-4
+
+    def test_slots_of_matches_scalar_slot_of(self):
+        omega = OptimalSet(17)
+        privacy = np.array([0.0, 1.0, 0.5, 0.999999, 1e-9])
+        vector = omega.slots_of(privacy)
+        assert [int(v) for v in vector] == [omega.slot_of(float(p)) for p in privacy]
+
+    def test_slots_of_rejects_non_finite(self):
+        with pytest.raises(OptimizationError):
+            OptimalSet(10).slots_of(np.array([0.5, np.nan]))

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the emitted ``BENCH_<name>.json`` trajectory.
+
+Every benchmark writes a machine-readable ``BENCH_<name>.json`` (schema in
+``docs/benchmarks.md``).  This checker compares the ``speedup`` field of the
+freshly emitted records against the committed thresholds in
+``benchmarks/perf_baseline.json`` and fails when any tracked op regresses
+below its bar — the CI perf job runs the quick benchmark profiles first and
+then this script.
+
+Usage (from the repository root, after running the benchmarks)::
+
+    python tools/check_perf.py [--baseline benchmarks/perf_baseline.json]
+                               [--bench-dir .]
+
+Exit code 0 when every tracked op meets its threshold, 1 otherwise (missing
+BENCH files or ops count as failures: a benchmark that silently stopped
+emitting must not turn the gate green).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_records(bench_dir: Path, name: str) -> dict[str, dict]:
+    """Op -> record mapping of one BENCH_<name>.json file (empty if absent)."""
+    path = bench_dir / f"BENCH_{name}.json"
+    if not path.is_file():
+        return {}
+    document = json.loads(path.read_text())
+    return {record["op"]: record for record in document.get("records", [])}
+
+
+def check(baseline_path: Path, bench_dir: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures: list[str] = []
+    print(f"perf gate: thresholds from {baseline_path}, records from {bench_dir}/")
+    for name, thresholds in baseline.items():
+        if name.startswith("_"):
+            continue
+        records = load_records(bench_dir, name)
+        if not records:
+            failures.append(f"BENCH_{name}.json is missing or empty")
+            continue
+        for op, minimum in thresholds.items():
+            record = records.get(op)
+            if record is None:
+                failures.append(f"{name}:{op}: no record emitted")
+                continue
+            speedup = record.get("speedup")
+            if speedup is None:
+                failures.append(f"{name}:{op}: record has no speedup field")
+                continue
+            verdict = "ok" if speedup >= minimum else "REGRESSION"
+            print(
+                f"  {name}:{op:24s} speedup {speedup:6.2f}x  "
+                f"(required >= {minimum:.2f}x)  {verdict}"
+            )
+            if speedup < minimum:
+                failures.append(
+                    f"{name}:{op}: speedup {speedup:.2f}x below required {minimum:.2f}x"
+                )
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/perf_baseline.json"),
+        help="committed threshold file (default: benchmarks/perf_baseline.json)",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the emitted BENCH_<name>.json files (default: .)",
+    )
+    arguments = parser.parse_args()
+    return check(arguments.baseline, arguments.bench_dir)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
