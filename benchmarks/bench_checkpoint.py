@@ -1,0 +1,235 @@
+"""Benchmark: end-to-end overhead of driver checkpointing.
+
+The stepwise driver (:mod:`repro.core.driver`) serializes the complete run
+state — population/archive arrays, the optimal set Ω, termination counters
+and the RNG bit-generator state — as base64 byte arrays inside a compact
+JSON document, written atomically between generations.  This benchmark
+measures the *end-to-end* cost of that: the same seeded OptRR run with and
+without checkpointing, at the default cadence
+(:data:`repro.core.driver.DEFAULT_CHECKPOINT_EVERY` = 50 generations) and at
+the worst-case every-generation cadence, plus the raw cost of one
+serialize + write + load + restore round-trip.
+
+The acceptance bar is <5% end-to-end overhead at the default cadence,
+recorded as a ``speedup`` ratio (plain seconds / checkpointed seconds, so
+0.95 == 5% overhead) and gated by ``tools/check_perf.py`` against
+``benchmarks/perf_baseline.json``.  A resume-equivalence guard re-runs the
+final checkpoint and asserts the restored run reproduces the uninterrupted
+front bit for bit — an overhead number for checkpoints that don't resume
+correctly would be meaningless.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_checkpoint.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    from benchmarks.conftest import record_bench
+except ImportError:  # standalone execution: benchmarks/ itself is sys.path[0]
+    from conftest import record_bench
+
+from repro.core.config import OptRRConfig
+from repro.core.driver import DEFAULT_CHECKPOINT_EVERY
+from repro.core.optimizer import OptRROptimizer
+from repro.data.synthetic import normal_distribution
+from repro.io import load_checkpoint, result_to_dict
+
+N_CATEGORIES = 10
+N_RECORDS = 10_000
+DELTA = 0.8
+SEED = 7
+POPULATION = 40
+#: Generation budget (env-tunable so CI can run a quick profile).
+GENERATIONS = int(os.environ.get("REPRO_BENCH_CHECKPOINT_GENERATIONS", "200"))
+#: Required plain/checkpointed wall-time ratio at the default cadence.  The
+#: acceptance bar is 0.95 (<5% overhead); CI sets
+#: REPRO_BENCH_MIN_CHECKPOINT_RATIO=0.90 so shared-runner timing noise cannot
+#: flake the gate while a real (2x-style) regression still fails it.
+MIN_RATIO = float(os.environ.get("REPRO_BENCH_MIN_CHECKPOINT_RATIO", "0.95"))
+
+
+def _config() -> OptRRConfig:
+    return OptRRConfig(
+        population_size=POPULATION,
+        archive_size=POPULATION,
+        n_generations=GENERATIONS,
+        delta=DELTA,
+        seed=SEED,
+    )
+
+
+def _run(checkpoint_path: str | None, checkpoint_every: int) -> tuple[float, object]:
+    prior = normal_distribution(N_CATEGORIES)
+    optimizer = OptRROptimizer(prior, N_RECORDS, _config())
+    start = time.perf_counter()
+    result = optimizer.run(
+        checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every
+    )
+    return time.perf_counter() - start, result
+
+
+def _best_of(function, repeats: int):
+    best, kept = float("inf"), None
+    for _ in range(repeats):
+        seconds, result = function()
+        if seconds < best:
+            best, kept = seconds, result
+    return best, kept
+
+
+def measure_overhead(checkpoint_every: int, *, repeats: int = 3) -> dict:
+    """Plain vs checkpointed wall time for the same seeded run."""
+    plain_seconds, plain_result = _best_of(lambda: _run(None, 1), repeats)
+    with tempfile.TemporaryDirectory() as directory:
+        path = str(Path(directory) / "checkpoint.json")
+        checkpointed_seconds, checkpointed_result = _best_of(
+            lambda: _run(path, checkpoint_every), repeats
+        )
+        # Resume-equivalence guard: restore the final checkpoint and compare
+        # the reproduced result to the uninterrupted run bit for bit.
+        document = load_checkpoint(path)
+        resumed = OptRROptimizer.from_checkpoint(document)
+        driver = resumed.driver()
+        driver.restore(document)
+        resumed_result = driver.result()
+    reference = json.dumps(result_to_dict(plain_result, include_optimal_set=True),
+                           sort_keys=True)
+    for other in (checkpointed_result, resumed_result):
+        assert reference == json.dumps(
+            result_to_dict(other, include_optimal_set=True), sort_keys=True
+        ), "checkpointed/resumed run diverged from the plain run"
+    return {
+        "checkpoint_every": checkpoint_every,
+        "plain_seconds": plain_seconds,
+        "checkpointed_seconds": checkpointed_seconds,
+        "ratio": plain_seconds / checkpointed_seconds,
+        "overhead_percent": 100.0 * (checkpointed_seconds / plain_seconds - 1.0),
+    }
+
+
+def measure_round_trip() -> dict:
+    """Raw cost of one checkpoint document cycle (serialize + atomic write +
+    load + restore) at a converged state with a well-filled Ω."""
+    prior = normal_distribution(N_CATEGORIES)
+    optimizer = OptRROptimizer(prior, N_RECORDS, _config())
+    driver = optimizer.driver()
+    steps = driver.steps()
+    for _ in range(min(30, GENERATIONS)):
+        next(steps)
+    with tempfile.TemporaryDirectory() as directory:
+        path = Path(directory) / "checkpoint.json"
+        best_write = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            driver.save_checkpoint(path)
+            best_write = min(best_write, time.perf_counter() - start)
+        size_bytes = path.stat().st_size
+        best_load = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            document = load_checkpoint(path)
+            restored = OptRROptimizer(prior, N_RECORDS, _config()).driver()
+            restored.restore(document)
+            best_load = min(best_load, time.perf_counter() - start)
+    return {
+        "write_seconds": best_write,
+        "load_restore_seconds": best_load,
+        "size_bytes": size_bytes,
+        "omega_occupancy": driver.optimization.optimal_set.n_occupied,
+    }
+
+
+def _params(extra: dict) -> dict:
+    return {
+        "n_categories": N_CATEGORIES,
+        "n_records": N_RECORDS,
+        "delta": DELTA,
+        "population": POPULATION,
+        "generations": GENERATIONS,
+        **extra,
+    }
+
+
+def _record_overhead(op: str, result: dict) -> None:
+    record_bench(
+        "checkpoint",
+        op,
+        _params({"checkpoint_every": result["checkpoint_every"]}),
+        result["checkpointed_seconds"],
+        reference_seconds=result["plain_seconds"],
+        overhead_percent=result["overhead_percent"],
+    )
+
+
+def _report(op: str, result: dict) -> None:
+    print(
+        f"\n{op} (every={result['checkpoint_every']}, gens={GENERATIONS}): "
+        f"plain {result['plain_seconds'] * 1e3:.0f} ms, "
+        f"checkpointed {result['checkpointed_seconds'] * 1e3:.0f} ms, "
+        f"overhead {result['overhead_percent']:+.1f}%"
+    )
+
+
+def test_checkpoint_overhead_default_cadence():
+    """At the default cadence (every 50 generations) checkpointing must add
+    <5% end-to-end overhead (the acceptance bar; ratio >= 0.95)."""
+    result = measure_overhead(DEFAULT_CHECKPOINT_EVERY)
+    _record_overhead("optrr_checkpoint_default", result)
+    _report("optrr_checkpoint_default", result)
+    assert result["ratio"] >= MIN_RATIO, (
+        f"checkpointing overhead {result['overhead_percent']:.1f}% exceeds the "
+        f"allowed {(1 / MIN_RATIO - 1) * 100:.0f}%"
+    )
+
+
+def test_checkpoint_overhead_every_generation():
+    """Worst case: a checkpoint after *every* generation.  Recorded for the
+    trajectory (no gate — this cadence is for kill-resume tests, not
+    production runs)."""
+    result = measure_overhead(1, repeats=2)
+    _record_overhead("optrr_checkpoint_every1", result)
+    _report("optrr_checkpoint_every1", result)
+
+
+def test_checkpoint_round_trip_cost():
+    """One full checkpoint cycle stays in the low-millisecond range."""
+    result = measure_round_trip()
+    record_bench(
+        "checkpoint",
+        "checkpoint_round_trip",
+        _params({"omega_occupancy": result["omega_occupancy"]}),
+        result["write_seconds"],
+        size_bytes=result["size_bytes"],
+        load_restore_seconds=result["load_restore_seconds"],
+    )
+    print(
+        f"\ncheckpoint_round_trip: write {result['write_seconds'] * 1e3:.2f} ms, "
+        f"load+restore {result['load_restore_seconds'] * 1e3:.2f} ms, "
+        f"{result['size_bytes'] / 1e3:.0f} KB, Ω occupancy "
+        f"{result['omega_occupancy']}"
+    )
+    assert np.isfinite(result["write_seconds"])
+
+
+def main() -> None:
+    test_checkpoint_overhead_default_cadence()
+    test_checkpoint_overhead_every_generation()
+    test_checkpoint_round_trip_cost()
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,9 @@ Usage examples::
     optrr campaign 'fig4*' thm2 --seeds 8 --jobs 4 --cache-dir .campaign-cache
     optrr optimize --distribution gamma --categories 10 --records 10000 --delta 0.75
     optrr optimize --distribution adult:education --output front.json
+    optrr optimize --distribution normal --generations 20000 \
+        --checkpoint run.ck.json --deadline 3600
+    optrr optimize --resume run.ck.json --generations 40000
     optrr pipeline --data adult:education --front front.json --miners tree,rules \
         --seeds 0-4 --jobs 2 --output aggregate.json
     optrr compare-schemes --distribution normal --categories 10
@@ -30,11 +33,18 @@ from repro.analysis.front import ParetoFront
 from repro.analysis.plot import ascii_scatter
 from repro.analysis.report import format_front_table, format_pipeline_table
 from repro.core.config import OptRRConfig
+from repro.core.driver import DEFAULT_CHECKPOINT_EVERY, checkpoint_scope
 from repro.core.optimizer import OptRROptimizer
 from repro.core.search_space import log10_rr_matrix_combinations
 from repro.data.distribution import CategoricalDistribution
 from repro.data.workload import resolve_workload_prior
-from repro.exceptions import DataError, EstimationError, ExperimentError, ValidationError
+from repro.exceptions import (
+    DataError,
+    EstimationError,
+    ExperimentError,
+    OptimizationError,
+    ValidationError,
+)
 from repro.experiments.campaign import CampaignCache, plan_campaign, run_campaign
 from repro.experiments.registry import available_experiments, get_experiment
 from repro.experiments.runner import run_experiment
@@ -67,6 +77,25 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--generations", type=int, default=None)
     run_parser.add_argument("--population", type=int, default=None)
     run_parser.add_argument("--plot", action="store_true", help="render an ASCII front plot")
+    run_parser.add_argument(
+        "--checkpoint-dir", default=None,
+        help="write per-optimizer-run checkpoints into this directory and "
+             "auto-resume from any checkpoints already there",
+    )
+    run_parser.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="alias for --checkpoint-dir: resume the experiment's optimizer "
+             "runs from the partial checkpoints in DIR",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint cadence in generations (default 50; needs "
+             "--checkpoint-dir or --resume)",
+    )
+    run_parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget shared by the experiment's optimizer runs",
+    )
 
     campaign_parser = subparsers.add_parser(
         "campaign",
@@ -102,7 +131,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     optimize_parser.add_argument("--records", type=int, default=10_000)
     optimize_parser.add_argument("--delta", type=float, default=None)
-    optimize_parser.add_argument("--generations", type=int, default=200)
+    optimize_parser.add_argument(
+        "--generations", type=int, default=None,
+        help="generation budget (default 200; with --resume, extends the "
+             "checkpointed run's budget)",
+    )
     optimize_parser.add_argument("--population", type=int, default=40)
     optimize_parser.add_argument("--seed", type=int, default=0)
     optimize_parser.add_argument("--plot", action="store_true")
@@ -110,6 +143,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="write the optimization_result JSON document (front + matrices) "
              "to this path; feed it to `optrr pipeline --front`",
+    )
+    optimize_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write resumable checkpoint documents to this file",
+    )
+    optimize_parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint cadence in generations (default 50; needs "
+             "--checkpoint or --resume)",
+    )
+    optimize_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from a checkpoint file; the workload (distribution, "
+             "records, delta, population) comes from the checkpoint and the "
+             "corresponding flags are ignored",
+    )
+    optimize_parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for this invocation's work, combined with "
+             "the generation budget (time spent before a --resume does not "
+             "count against it)",
     )
 
     pipeline_parser = subparsers.add_parser(
@@ -219,10 +273,32 @@ def _command_run(args: argparse.Namespace) -> int:
         overrides["n_generations"] = args.generations
     if args.population is not None:
         overrides["population_size"] = args.population
+    checkpoint_dir = args.checkpoint_dir or args.resume
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        return _fail("--checkpoint-every must be at least 1")
+    if args.checkpoint_every is not None and checkpoint_dir is None:
+        return _fail("--checkpoint-every needs --checkpoint-dir or --resume")
+    if args.deadline is not None and args.deadline <= 0:
+        return _fail("--deadline must be positive")
     try:
-        result = run_experiment(args.experiment, seed=args.seed, **overrides)
+        if checkpoint_dir is not None or args.deadline is not None:
+            # Every optimizer run inside the experiment claims a checkpoint
+            # slot in the scope (auto-resuming from a previous partial run)
+            # and shares the wall-clock deadline.
+            with checkpoint_scope(
+                checkpoint_dir,
+                token=f"{args.experiment}-seed{args.seed}",
+                every=args.checkpoint_every or DEFAULT_CHECKPOINT_EVERY,
+                deadline=args.deadline,
+            ) as scope:
+                result = run_experiment(args.experiment, seed=args.seed, **overrides)
+            scope.clear()
+        else:
+            result = run_experiment(args.experiment, seed=args.seed, **overrides)
     except ExperimentError as exc:
         return _fail(str(exc))
+    except OSError as exc:
+        return _fail(f"checkpoint i/o failed: {exc}")
     print(result.summary_text())
     if args.plot and result.fronts:
         fronts = [front for front in result.fronts.values() if not front.is_empty]
@@ -275,21 +351,24 @@ def _command_campaign(args: argparse.Namespace) -> int:
 
 
 def _command_optimize(args: argparse.Namespace) -> int:
-    try:
-        prior = _resolve_distribution(args.distribution, args.categories)
-    except DataError as exc:
-        return _fail(str(exc))
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        return _fail("--checkpoint-every must be at least 1")
+    if args.checkpoint_every is not None and args.checkpoint is None and args.resume is None:
+        return _fail("--checkpoint-every needs --checkpoint or --resume")
+    if args.deadline is not None and args.deadline <= 0:
+        return _fail("--deadline must be positive")
     output_path = Path(args.output) if args.output is not None else None
     if output_path is not None and not output_path.parent.is_dir():
         return _fail(f"--output directory {str(output_path.parent)!r} does not exist")
-    config = OptRRConfig(
-        population_size=args.population,
-        archive_size=args.population,
-        n_generations=args.generations,
-        delta=args.delta,
-        seed=args.seed,
-    )
-    result = OptRROptimizer(prior, args.records, config).run()
+    try:
+        if args.resume is not None:
+            result = _resumed_optimization(args)
+        else:
+            result = _fresh_optimization(args)
+    except (DataError, ValidationError, OptimizationError) as exc:
+        return _fail(str(exc))
+    except OSError as exc:
+        return _fail(f"checkpoint i/o failed: {exc}")
     front = ParetoFront.from_result("optrr", result)
     print(format_front_table(front, max_rows=30))
     if args.plot:
@@ -306,6 +385,70 @@ def _command_optimize(args: argparse.Namespace) -> int:
             return _fail(f"could not write --output: {exc}")
         print(f"front written to {args.output}")
     return 0
+
+
+def _fresh_optimization(args: argparse.Namespace):
+    """Run `optrr optimize` from scratch (optionally writing checkpoints)."""
+    prior = _resolve_distribution(args.distribution, args.categories)
+    config = OptRRConfig(
+        population_size=args.population,
+        archive_size=args.population,
+        n_generations=args.generations if args.generations is not None else 200,
+        delta=args.delta,
+        seed=args.seed,
+    )
+    return OptRROptimizer(prior, args.records, config).run(
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        deadline=args.deadline,
+    )
+
+
+def _resumed_optimization(args: argparse.Namespace):
+    """Resume `optrr optimize` from a checkpoint file.
+
+    The workload comes from the checkpoint itself; ``--generations`` (when
+    given) replaces the generation budget, which reopens a run whose
+    checkpoint was written after termination.  Further checkpoints keep
+    going to the same file unless ``--checkpoint`` redirects them.
+    """
+    from repro.io import load_checkpoint
+
+    try:
+        document = load_checkpoint(args.resume)
+    except (OSError, ValueError) as exc:
+        raise ValidationError(f"cannot read --resume {args.resume!r}: {exc}") from exc
+    if document.get("algorithm") != "optrr":
+        raise ValidationError(
+            f"--resume expects an optrr checkpoint, got algorithm "
+            f"{document.get('algorithm')!r}"
+        )
+    optimizer = OptRROptimizer.from_checkpoint(document)
+    if args.generations is not None:
+        optimizer = OptRROptimizer(
+            optimizer.prior,
+            optimizer.n_records,
+            optimizer.config.with_updates(n_generations=args.generations),
+        )
+    driver = optimizer.driver(
+        checkpoint_path=args.checkpoint or args.resume,
+        checkpoint_every=args.checkpoint_every,
+        deadline=args.deadline,
+    )
+    # Reopen a post-termination checkpoint only while the (possibly
+    # --generations-extended) generation budget is unexhausted: a run whose
+    # --deadline fired first continues its remaining generations, while a
+    # run that completed its budget replays its result — never overshooting
+    # by an extra generation.
+    reopen = (
+        bool(document.get("stopped"))
+        and int(document.get("generation", 0)) + 1 < optimizer.config.n_generations
+    )
+    try:
+        driver.restore(document, reopen=reopen)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(f"unusable checkpoint {args.resume!r}: {exc}") from exc
+    return optimizer.run_driver(driver)
 
 
 def _parse_miner_param_arguments(arguments: Sequence[str]) -> dict[str, dict[str, str]]:

@@ -10,6 +10,13 @@ matrix evicted from the bounded archive.
 
 from repro.core.config import OptRRConfig
 from repro.core.archive import OptimalSet
+from repro.core.driver import (
+    DEFAULT_CHECKPOINT_EVERY,
+    GenerationSnapshot,
+    OptimizationDriver,
+    SteppableOptimization,
+    checkpoint_scope,
+)
 from repro.core.operators import (
     column_crossover,
     column_crossover_batch,
@@ -27,10 +34,15 @@ from repro.core.bruteforce import brute_force_front
 from repro.core.search_space import rr_matrix_combinations
 
 __all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "GenerationSnapshot",
     "OptRRConfig",
     "OptRROptimizer",
     "OptimalSet",
+    "OptimizationDriver",
     "OptimizationResult",
+    "SteppableOptimization",
+    "checkpoint_scope",
     "ParetoPoint",
     "RRMatrixProblem",
     "brute_force_front",

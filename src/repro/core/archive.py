@@ -11,15 +11,59 @@ archive without affecting the cubic environmental-selection cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator
 
 import numpy as np
 
 from repro.emoo.dominance import non_dominated
 from repro.emoo.individual import Individual
-from repro.emoo.population import Population
+from repro.emoo.population import Population, _metadata_scalar
 from repro.exceptions import OptimizationError
+from repro.utils.arrays import decode_array, encode_array
 from repro.utils.validation import check_positive_int
+
+
+def _columnar_metadata(members: list[Individual]) -> dict[str, Any]:
+    """Member metadata as columns: numeric/bool columns travel as byte
+    arrays, anything else (or ragged keys) falls back to JSON values."""
+    keys = list(members[0].metadata)
+    if any(list(member.metadata) != keys for member in members):
+        return {
+            "__rows__": [
+                {
+                    key: (value.item() if isinstance(value, np.generic) else value)
+                    for key, value in member.metadata.items()
+                }
+                for member in members
+            ]
+        }
+    columns: dict[str, Any] = {}
+    for key in keys:
+        values = [member.metadata[key] for member in members]
+        array = np.asarray(values)
+        if array.dtype.kind in "fbiu":
+            columns[key] = {"column": encode_array(array)}
+        else:
+            columns[key] = {
+                "values": [
+                    value.item() if isinstance(value, np.generic) else value
+                    for value in values
+                ]
+            }
+    return columns
+
+
+def _metadata_rows(document: dict[str, Any], count: int) -> list[dict[str, Any]]:
+    """Rebuild per-member metadata dicts from :func:`_columnar_metadata`."""
+    if "__rows__" in document:
+        return [dict(row) for row in document["__rows__"]]
+    columns: dict[str, list[Any]] = {}
+    for key, entry in document.items():
+        if "column" in entry:
+            columns[key] = [_metadata_scalar(value) for value in decode_array(entry["column"])]
+        else:
+            columns[key] = list(entry["values"])
+    return [{key: columns[key][row] for key in columns} for row in range(count)]
 
 
 @dataclass
@@ -43,6 +87,8 @@ class OptimalSet:
         # be pre-filtered against Ω with one vectorized comparison.
         self._utilities = np.full(self.size, np.inf)
         self._n_updates = 0
+        # (n_updates, document) pair reused by state_document while Ω is quiet.
+        self._state_cache: tuple[int, dict[str, Any]] | None = None
 
     # -- indexing ------------------------------------------------------------
     def slot_of(self, privacy: float) -> int:
@@ -128,6 +174,86 @@ class OptimalSet:
                 self._n_updates += 1
                 updates += 1
         return updates
+
+    # -- checkpointing ---------------------------------------------------------
+    def state_document(self) -> dict[str, Any]:
+        """Serialize Ω bit-exactly for a ``checkpoint`` document.
+
+        Occupied slots are stacked into columnar arrays (one base64 byte
+        array for all genomes, one per objective/metadata column) so
+        serializing a full 1000-slot Ω stays off the per-generation hot
+        path; metadata columns with a numeric/bool dtype travel as byte
+        arrays, anything else falls back to a JSON value list.  The document
+        is cached keyed by :attr:`n_updates` — Ω only changes through
+        accepted offers, so checkpoints taken while Ω is quiet reuse the
+        previous serialization for free.  Genomes must expose
+        ``probabilities`` — Ω is the paper's RR-specific structure and only
+        ever stores RR matrices.
+        """
+        cached = getattr(self, "_state_cache", None)
+        if cached is not None and cached[0] == self._n_updates:
+            return cached[1]
+        occupied = [
+            (slot, member) for slot, member in enumerate(self._slots) if member is not None
+        ]
+        document: dict[str, Any] = {
+            "size": self.size,
+            "n_updates": self._n_updates,
+            "slots": [slot for slot, _ in occupied],
+        }
+        if occupied:
+            members = [member for _, member in occupied]
+            first = np.asarray(members[0].genome.probabilities)
+            genomes = np.empty((len(members), *first.shape))
+            for row, member in enumerate(members):
+                genomes[row] = member.genome.probabilities
+            document["genomes"] = encode_array(genomes)
+            document["objectives"] = encode_array(
+                np.stack([member.objectives for member in members])
+            )
+            document["feasible"] = encode_array(
+                np.array([member.feasible for member in members], dtype=bool)
+            )
+            document["metadata"] = _columnar_metadata(members)
+        self._state_cache = (self._n_updates, document)
+        return document
+
+    def restore_state(
+        self, document: dict[str, Any], genome_builder: Callable[[np.ndarray], Any]
+    ) -> None:
+        """Restore the state captured by :meth:`state_document`.
+
+        ``genome_builder`` rebuilds a genome object from one stacked genome
+        row (the RR path passes :meth:`repro.rr.matrix.RRMatrix.
+        from_validated`).  The per-slot utility array is rebuilt from the
+        restored members, so the vectorized Ω pre-filter behaves identically
+        after a resume.
+        """
+        if int(document["size"]) != self.size:
+            raise OptimizationError(
+                f"checkpointed optimal set has {document['size']} slots, this one {self.size}"
+            )
+        self._slots = [None] * self.size
+        self._utilities = np.full(self.size, np.inf)
+        self._n_updates = int(document.get("n_updates", 0))
+        self._state_cache = None
+        slots = document.get("slots", [])
+        if not slots:
+            return
+        genomes = decode_array(document["genomes"])
+        objectives = decode_array(document["objectives"])
+        feasible = decode_array(document["feasible"])
+        metadata = _metadata_rows(document.get("metadata", {}), len(slots))
+        for row, slot in enumerate(slots):
+            slot = int(slot)
+            member = Individual(
+                genome=genome_builder(genomes[row]),
+                objectives=objectives[row].copy(),
+                feasible=bool(feasible[row]),
+                metadata=metadata[row],
+            )
+            self._slots[slot] = member
+            self._utilities[slot] = float(member.metadata["utility"])
 
     def slot_utilities(self) -> np.ndarray:
         """Read-only view of the per-slot utilities (+inf = empty slot)."""

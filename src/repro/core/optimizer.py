@@ -29,14 +29,23 @@ inside Ω.  The pre-PR list-based loop is preserved verbatim in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from repro.core.archive import OptimalSet
 from repro.core.config import OptRRConfig
-from repro.core.problem import RRMatrixProblem
+from repro.core.driver import (
+    OptimizationDriver,
+    StepOutcome,
+    SteppableOptimization,
+    build_driver,
+    population_from_document,
+    population_to_document,
+    workload_fingerprint,
+)
+from repro.core.problem import SINGULAR_UTILITY_PENALTY, RRMatrixProblem
 from repro.core.result import OptimizationResult
 from repro.data.distribution import CategoricalDistribution
 from repro.emoo.density import pairwise_distances
@@ -48,12 +57,13 @@ from repro.emoo.selection import (
     environmental_selection_indices,
 )
 from repro.emoo.termination import (
-    GenerationState,
     MaxGenerations,
     StagnationTermination,
     TerminationCriterion,
 )
+from repro.exceptions import ValidationError
 from repro.metrics.privacy import check_bound_feasible
+from repro.rr.matrix import RRMatrix
 from repro.types import SeedLike, as_rng
 from repro.utils.logging import get_logger
 
@@ -124,8 +134,14 @@ class OptRROptimizer:
         *,
         seed: SeedLike = None,
         on_generation: ProgressCallback | None = None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int | None = None,
+        deadline: float | None = None,
     ) -> OptimizationResult:
         """Run the optimization and return the resulting Pareto front.
+
+        Thin wrapper over the stepwise :meth:`driver`; the loop itself lives
+        in :class:`~repro.core.driver.OptimizationDriver`.
 
         Parameters
         ----------
@@ -135,76 +151,41 @@ class OptRROptimizer:
             Optional callback invoked after every generation.  The archive is
             materialised as ``Individual`` views only when a callback is
             registered.
+        checkpoint_path:
+            Write resumable ``checkpoint`` documents to this file (see
+            :meth:`driver`); resuming goes through
+            :meth:`from_checkpoint` + :meth:`OptimizationDriver.restore`.
+        checkpoint_every:
+            Checkpoint cadence in generations (default
+            :data:`~repro.core.driver.DEFAULT_CHECKPOINT_EVERY`).
+        deadline:
+            Optional wall-clock budget in seconds, combined with the
+            configured termination via ``|``.
         """
-        config = self.config
-        rng = as_rng(seed if seed is not None else config.seed)
-        termination = self._termination()
-        termination.reset()
-        problem = self._problem
+        driver = self.driver(
+            seed=seed,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            deadline=deadline,
+        )
+        return self.run_driver(driver, on_generation=on_generation)
 
-        population = problem.initial_population_soa(config.population_size, rng)
-        baseline = self._baseline_seed_population(rng)
-        optimal_set = OptimalSet(config.optimal_set_size)
-        self._offer_population(optimal_set, population)
-        # The full baseline sweep goes straight into Ω (O(1) per matrix); only
-        # a thin, evenly spaced subset joins the evolving population so the
-        # per-generation selection cost stays bounded.
-        if baseline is not None:
-            self._offer_population(optimal_set, baseline)
-            stride = max(1, baseline.size // 25)
-            population = Population.concat(
-                population, baseline.take(np.arange(0, baseline.size, stride))
-            )
-
-        archive: Population | None = None
-        generation = 0
-        while True:
-            # 1-2. Fitness assignment + environmental selection on Q_t + V_t.
-            # The pairwise distance matrix is computed once and shared between
-            # the density estimator and (via slicing) archive truncation.
-            union = population if archive is None else Population.concat(population, archive)
-            distances = pairwise_distances(union.objectives)
-            _, _, fitness = spea2_fitness_from_arrays(
-                union.objectives, union.feasible, config.density_k, distances=distances
-            )
-            selected = environmental_selection_indices(
-                fitness, config.archive_size, distances=distances
-            )
-            archive = union.take(selected)
-            archive.set_fitness(fitness[selected], generation)
-            # 3-5. Mating selection, crossover, mutation, bound repair — the
-            # whole offspring generation moves as one (B, n, n) stack.
-            offspring_stack = self._make_offspring(archive, rng, generation)
-            population = problem.evaluate_population(offspring_stack)
-            # 6. Update the three sets: Ω absorbs the new generation, and the
-            # archive/population are refreshed with Ω's best matrices for the
-            # privacy levels they already occupy.
-            updates = self._offer_population(optimal_set, population)
-            updates += self._offer_population(optimal_set, archive)
-            self._refresh_from_optimal_set(population, optimal_set)
-            self._refresh_from_optimal_set(archive, optimal_set)
+    def run_driver(
+        self,
+        driver: OptimizationDriver,
+        *,
+        on_generation: ProgressCallback | None = None,
+    ) -> OptimizationResult:
+        """Drive a (possibly restored) driver to termination."""
+        algorithm = driver.optimization
+        for snapshot in driver.steps():
             if on_generation is not None:
                 on_generation(
-                    generation, problem.population_to_individuals(archive), optimal_set
+                    snapshot.generation,
+                    self._problem.population_to_individuals(algorithm.archive),
+                    algorithm.optimal_set,
                 )
-            # 7. Termination.
-            state = GenerationState(generation=generation, archive_updates=updates)
-            if termination.should_stop(state):
-                break
-            generation += 1
-
-        front = optimal_set.pareto_members()
-        if not front:
-            # No feasible matrix was ever found (possible only with an
-            # extremely tight delta); fall back to the archive so the caller
-            # still gets diagnostics.
-            front = problem.population_to_individuals(archive)
-        result = OptimizationResult.from_individuals(
-            front,
-            optimal_set.members(),
-            n_generations=generation + 1,
-            n_evaluations=problem.n_evaluations,
-        )
+        result = driver.result()
         logger.debug(
             "OptRR finished: %d generations, %d evaluations, front size %d, "
             "privacy range %s",
@@ -214,6 +195,53 @@ class OptRROptimizer:
             result.privacy_range if len(result) else "n/a",
         )
         return result
+
+    def driver(
+        self,
+        *,
+        seed: SeedLike = None,
+        termination: TerminationCriterion | None = None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int | None = None,
+        deadline: float | None = None,
+    ) -> OptimizationDriver:
+        """Build the stepwise driver for this optimizer.
+
+        When neither ``checkpoint_path`` nor an explicit termination is
+        given, the ambient :func:`~repro.core.driver.checkpoint_scope` (set
+        by the cached-grid executor around every campaign cell) is consulted:
+        the run claims a checkpoint file in the scope's directory, resumes
+        automatically from a matching previous checkpoint, and honours the
+        scope's remaining wall-clock deadline.
+        """
+        return build_driver(
+            _OptRRSteppable(self),
+            termination=termination if termination is not None else self._termination(),
+            rng=as_rng(seed if seed is not None else self.config.seed),
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            deadline=deadline,
+        )
+
+    @classmethod
+    def from_checkpoint(cls, document: dict) -> "OptRROptimizer":
+        """Rebuild the optimizer a ``checkpoint`` document was written by.
+
+        The checkpoint embeds the full workload setup (prior, record count,
+        configuration), so ``optrr optimize --resume`` needs nothing but the
+        checkpoint file.  Restore the run state itself with
+        :meth:`OptimizationDriver.restore` on :meth:`driver`'s result.
+        """
+        from repro.utils.arrays import decode_array
+
+        try:
+            setup = document["state"]["setup"]
+            prior = CategoricalDistribution(decode_array(setup["prior"]))
+            config = OptRRConfig(**setup["config"])
+            n_records = int(setup["n_records"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"unusable optrr checkpoint: {exc}") from exc
+        return cls(prior, n_records, config)
 
     # -- internals -----------------------------------------------------------
     def _offer_population(self, optimal_set: OptimalSet, population: Population) -> int:
@@ -312,3 +340,165 @@ class OptRROptimizer:
                 feasible=occupant.feasible,
                 metadata=occupant.metadata,
             )
+
+
+class _OptRRSteppable(SteppableOptimization):
+    """The OptRR generation loop decomposed for the stepwise driver.
+
+    Holds the evolving state (population, archive, optimal set Ω) between
+    :meth:`step` calls; the variation/selection internals stay on
+    :class:`OptRROptimizer`.  The RNG draw order is identical to the former
+    monolithic ``run()`` loop, so fixed-seed trajectories are unchanged.
+    """
+
+    algorithm_name = "optrr"
+
+    def __init__(self, optimizer: OptRROptimizer) -> None:
+        self._optimizer = optimizer
+        self._problem = optimizer.problem
+        self._config = optimizer.config
+        self.population: Population | None = None
+        self.archive: Population | None = None
+        self.optimal_set: OptimalSet | None = None
+        # The workload identity is immutable; cache its serializations so
+        # per-generation checkpoints don't recompute them.
+        self._fingerprint: str | None = None
+        self._setup_document: dict | None = None
+
+    def setup(self, rng: np.random.Generator) -> None:
+        optimizer = self._optimizer
+        config = self._config
+        population = self._problem.initial_population_soa(config.population_size, rng)
+        baseline = optimizer._baseline_seed_population(rng)
+        optimal_set = OptimalSet(config.optimal_set_size)
+        optimizer._offer_population(optimal_set, population)
+        # The full baseline sweep goes straight into Ω (O(1) per matrix); only
+        # a thin, evenly spaced subset joins the evolving population so the
+        # per-generation selection cost stays bounded.
+        if baseline is not None:
+            optimizer._offer_population(optimal_set, baseline)
+            stride = max(1, baseline.size // 25)
+            population = Population.concat(
+                population, baseline.take(np.arange(0, baseline.size, stride))
+            )
+        self.population = population
+        self.archive = None
+        self.optimal_set = optimal_set
+
+    def step(self, rng: np.random.Generator, generation: int) -> StepOutcome:
+        optimizer = self._optimizer
+        config = self._config
+        problem = self._problem
+        optimal_set = self.optimal_set
+        # 1-2. Fitness assignment + environmental selection on Q_t + V_t.
+        # The pairwise distance matrix is computed once and shared between
+        # the density estimator and (via slicing) archive truncation.
+        union = (
+            self.population
+            if self.archive is None
+            else Population.concat(self.population, self.archive)
+        )
+        distances = pairwise_distances(union.objectives)
+        _, _, fitness = spea2_fitness_from_arrays(
+            union.objectives, union.feasible, config.density_k, distances=distances
+        )
+        selected = environmental_selection_indices(
+            fitness, config.archive_size, distances=distances
+        )
+        archive = union.take(selected)
+        archive.set_fitness(fitness[selected], generation)
+        # 3-5. Mating selection, crossover, mutation, bound repair — the
+        # whole offspring generation moves as one (B, n, n) stack.
+        offspring_stack = optimizer._make_offspring(archive, rng, generation)
+        population = problem.evaluate_population(offspring_stack)
+        # 6. Update the three sets: Ω absorbs the new generation, and the
+        # archive/population are refreshed with Ω's best matrices for the
+        # privacy levels they already occupy.
+        updates = optimizer._offer_population(optimal_set, population)
+        updates += optimizer._offer_population(optimal_set, archive)
+        optimizer._refresh_from_optimal_set(population, optimal_set)
+        optimizer._refresh_from_optimal_set(archive, optimal_set)
+        self.population = population
+        self.archive = archive
+        front = archive.objectives[archive.feasible]
+        if front.shape[0] == 0:
+            front = archive.objectives
+        return StepOutcome(
+            archive_updates=updates,
+            front_objectives=front,
+            n_evaluations=problem.n_evaluations,
+        )
+
+    def finish(self, generation: int) -> OptimizationResult:
+        front = self.optimal_set.pareto_members()
+        if not front:
+            # No feasible matrix was ever found (possible only with an
+            # extremely tight delta); fall back to the archive so the caller
+            # still gets diagnostics.
+            front = self._problem.population_to_individuals(self.archive)
+        return OptimizationResult.from_individuals(
+            front,
+            self.optimal_set.members(),
+            n_generations=generation + 1,
+            n_evaluations=self._problem.n_evaluations,
+        )
+
+    def elite_individuals(self) -> list[Individual]:
+        return self._problem.population_to_individuals(self.archive)
+
+    def hypervolume_reference(self) -> tuple[float, float]:
+        # Objectives are (-privacy, utility-with-singular-penalty): privacy
+        # cannot exceed 1 and the penalty bounds the utility axis.
+        return (0.0, SINGULAR_UTILITY_PENALTY)
+
+    def setup_fingerprint(self) -> str:
+        if self._fingerprint is not None:
+            return self._fingerprint
+        config = asdict(self._config)
+        # Stopping-rule and seeding fields are not workload identity: a
+        # checkpoint may legitimately resume under an extended budget.
+        for key in ("n_generations", "stagnation_patience", "seed"):
+            config.pop(key, None)
+        from repro.utils.arrays import encode_array
+
+        self._fingerprint = workload_fingerprint(
+            {
+                "algorithm": self.algorithm_name,
+                "prior": encode_array(self._optimizer.prior.probabilities),
+                "n_records": self._optimizer.n_records,
+                "config": config,
+            }
+        )
+        return self._fingerprint
+
+    def state_document(self) -> dict:
+        from repro.utils.arrays import encode_array
+
+        if self._setup_document is None:
+            self._setup_document = {
+                "prior": encode_array(self._optimizer.prior.probabilities),
+                "n_records": self._optimizer.n_records,
+                "config": asdict(self._config),
+            }
+        return {
+            "setup": self._setup_document,
+            "problem": self._problem.counters_document(),
+            "population": population_to_document(self.population),
+            "archive": (
+                population_to_document(self.archive) if self.archive is not None else None
+            ),
+            "optimal_set": self.optimal_set.state_document(),
+        }
+
+    def restore_state(self, document: dict) -> None:
+        self._problem.restore_counters(document["problem"])
+        self.population = population_from_document(document["population"])
+        archive_document = document.get("archive")
+        self.archive = (
+            population_from_document(archive_document)
+            if archive_document is not None
+            else None
+        )
+        optimal_set = OptimalSet(int(document["optimal_set"]["size"]))
+        optimal_set.restore_state(document["optimal_set"], RRMatrix.from_validated)
+        self.optimal_set = optimal_set

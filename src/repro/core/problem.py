@@ -94,7 +94,54 @@ class RRMatrixProblem(Problem):
         """The underlying privacy/utility evaluator."""
         return self._evaluator
 
+    def counters_document(self) -> dict[str, int]:
+        """The problem's bookkeeping counters for a ``checkpoint`` document.
+
+        ``counter`` drives the random-genome kind cycling, so restoring it
+        keeps any post-resume genome creation on the same cycle; the
+        evaluation count makes resumed results report the true cumulative
+        cost."""
+        return {"n_evaluations": self._n_evaluations, "counter": self._counter}
+
+    def restore_counters(self, document: dict[str, int]) -> None:
+        """Restore the counters captured by :meth:`counters_document`."""
+        self._n_evaluations = int(document.get("n_evaluations", 0))
+        self._counter = int(document.get("counter", 0))
+
     # -- Problem interface -------------------------------------------------------
+    def fingerprint_document(self) -> dict:
+        """Checkpoint workload identity: the prior, record count, bound and
+        operator parameters — everything that changes what an evaluation
+        means."""
+        from repro.utils.arrays import encode_array
+
+        return {
+            "problem": type(self).__name__,
+            "prior": encode_array(self.prior.probabilities),
+            "n_records": self.n_records,
+            "delta": self.delta,
+            "mutation_scale": self.mutation_scale,
+            "diagonal_bias": self.diagonal_bias,
+        }
+
+    def genome_to_data(self, genome) -> dict:
+        """Checkpoint codec: RR matrices serialize as base64 byte arrays."""
+        if isinstance(genome, RRMatrix):
+            from repro.utils.arrays import encode_array
+
+            return {"kind": "rr_matrix", "array": encode_array(genome.probabilities)}
+        return super().genome_to_data(genome)
+
+    def genome_from_data(self, data) -> RRMatrix:
+        """Rebuild an :class:`RRMatrix` genome from :meth:`genome_to_data`
+        output (through the trusted ``from_validated`` path: the bytes came
+        from a matrix this engine already validated)."""
+        if isinstance(data, dict) and data.get("kind") == "rr_matrix":
+            from repro.utils.arrays import decode_array
+
+            return RRMatrix.from_validated(decode_array(data["array"]))
+        return super().genome_from_data(data)
+
     def random_genome(self, rng: np.random.Generator) -> RRMatrix:
         """Create a random RR matrix, cycling through plain random,
         diagonally-biased and near-uniform draws so the initial front spans

@@ -31,6 +31,22 @@ from repro.emoo.selection import (
     truncate_indices,
 )
 from repro.emoo.problem import Problem
+from repro.emoo.termination import (
+    Deadline,
+    GenerationState,
+    HypervolumeStagnation,
+    MaxGenerations,
+    StagnationTermination,
+    TerminationCriterion,
+)
+# The driver must load before the algorithms built on it (spea2/nsga2); the
+# public import surface for it is repro.core.driver.
+from repro.emoo.driver import (
+    GenerationSnapshot,
+    OptimizationDriver,
+    SteppableOptimization,
+    checkpoint_scope,
+)
 from repro.emoo.spea2 import SPEA2, SPEA2Settings
 from repro.emoo.nsga2 import NSGA2, NSGA2Settings, crowding_distances_from_objectives
 from repro.emoo.weighted_sum import WeightedSumGA, WeightedSumSettings
@@ -40,15 +56,17 @@ from repro.emoo.indicators import (
     hypervolume_2d,
     spread_2d,
 )
-from repro.emoo.termination import (
-    MaxGenerations,
-    StagnationTermination,
-    TerminationCriterion,
-)
 
 __all__ = [
+    "Deadline",
+    "GenerationSnapshot",
+    "GenerationState",
+    "HypervolumeStagnation",
     "Individual",
     "MaxGenerations",
+    "OptimizationDriver",
+    "SteppableOptimization",
+    "checkpoint_scope",
     "NSGA2",
     "NSGA2Settings",
     "Population",

@@ -66,6 +66,25 @@ def hypervolume_2d(front: np.ndarray, reference: tuple[float, float]) -> float:
     return float(area)
 
 
+def finite_front_hypervolume_2d(
+    front: np.ndarray, reference: tuple[float, float]
+) -> float | None:
+    """:func:`hypervolume_2d` over the finite rows of a possibly-unclean front.
+
+    The stepwise driver and the hypervolume-stagnation termination criterion
+    both measure live optimizer fronts, which may contain sentinel values
+    (e.g. the singular-utility penalty is finite, but generic problems may
+    emit ``inf``); rows with non-finite entries are dropped first.  Returns
+    ``None`` when no finite points remain — callers decide whether that
+    means "unknown" or "no progress".
+    """
+    front = np.asarray(front, dtype=np.float64)
+    front = front[np.all(np.isfinite(front), axis=1)]
+    if front.shape[0] == 0:
+        return None
+    return hypervolume_2d(front, reference)
+
+
 def coverage(front_a: np.ndarray, front_b: np.ndarray) -> float:
     """C-metric ``C(A, B)``: fraction of points in ``B`` weakly dominated by at
     least one point in ``A``.  ``C(A, B) = 1`` means ``A`` covers ``B``."""

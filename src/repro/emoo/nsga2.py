@@ -10,17 +10,31 @@ front-quality indicators in :mod:`repro.emoo.indicators`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.emoo.dominance import non_dominated, pareto_ranks_from_arrays
+from repro.emoo.driver import (
+    OptimizationDriver,
+    StepOutcome,
+    SteppableOptimization,
+    build_driver,
+    population_from_document,
+    population_to_document,
+    workload_fingerprint,
+)
 from repro.emoo.individual import Individual, objectives_array
 from repro.emoo.population import Population
 from repro.emoo.problem import Problem
-from repro.emoo.termination import GenerationState, MaxGenerations, TerminationCriterion
+from repro.emoo.termination import MaxGenerations, TerminationCriterion
 from repro.exceptions import OptimizationError
 from repro.types import SeedLike, as_rng
+from repro.utils.arrays import decode_array, encode_array
 from repro.utils.validation import check_in_unit_interval, check_positive_int
+
+#: Callback invoked after each generation with (generation index, population).
+GenerationCallback = Callable[[int, list[Individual]], None]
 
 
 @dataclass(frozen=True)
@@ -102,48 +116,45 @@ class NSGA2:
     termination: TerminationCriterion = field(default_factory=lambda: MaxGenerations(100))
     seed: SeedLike = None
 
-    def run(self) -> NSGA2Result:
+    def run(self, on_generation: GenerationCallback | None = None) -> NSGA2Result:
         """Run the optimization and return the result.
 
-        Array-native: rank and crowding live as arrays alongside a
-        structure-of-arrays :class:`~repro.emoo.population.Population`; the
-        crowded binary tournament draws and decides every pair in one
-        vectorized step; per-individual attribute writes happen only at the
-        result boundary.
+        Thin wrapper over the stepwise driver (:meth:`driver`).  Array-native:
+        rank and crowding live as arrays alongside a structure-of-arrays
+        :class:`~repro.emoo.population.Population`; the crowded binary
+        tournament draws and decides every pair in one vectorized step;
+        per-individual attribute writes happen only at the result boundary.
+
+        ``on_generation`` mirrors the SPEA2 callback: it receives the
+        generation index and the surviving population as ``Individual``
+        views (rank and crowding annotated), materialised only when a
+        callback is registered.
         """
-        rng = as_rng(self.seed)
-        self.termination.reset()
-        settings = self.settings
-        initial = self.problem.initial_population(settings.population_size, rng)
-        if not initial:
-            raise OptimizationError("the problem produced an empty initial population")
-        population = Population.from_individuals(initial)
-        ranks, crowding = self._rank_and_crowd_arrays(population)
-        n_evaluations = population.size
-        generation = 0
-        while True:
-            offspring_genomes = self._make_offspring(population, ranks, crowding, rng)
-            offspring = Population.from_individuals(
-                self.problem.evaluate_genomes(offspring_genomes)
-            )
-            n_evaluations += offspring.size
-            union = Population.concat(population, offspring)
-            population, ranks, crowding = self._select_next_generation(union)
-            state = GenerationState(generation=generation, archive_updates=1)
-            if self.termination.should_stop(state):
-                break
-            generation += 1
-        # Result boundary: materialise views with their rank/crowding fields.
-        individuals = population.to_individuals()
-        for index, individual in enumerate(individuals):
-            individual.rank = int(ranks[index])
-            individual.crowding = float(crowding[index])
-        front = non_dominated(individuals)
-        return NSGA2Result(
-            population=individuals,
-            front=front,
-            n_generations=generation + 1,
-            n_evaluations=n_evaluations,
+        driver = self.driver()
+        algorithm = driver.optimization
+        for snapshot in driver.steps():
+            if on_generation is not None:
+                on_generation(snapshot.generation, algorithm.elite_individuals())
+        return driver.result()
+
+    def driver(
+        self,
+        *,
+        seed: SeedLike = None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int | None = None,
+        deadline: float | None = None,
+    ) -> OptimizationDriver:
+        """Build the stepwise driver for this NSGA-II instance (same
+        contract as :meth:`repro.emoo.spea2.SPEA2.driver`, including the
+        ambient checkpoint scope)."""
+        return build_driver(
+            _NSGA2Steppable(self),
+            termination=self.termination,
+            rng=as_rng(seed if seed is not None else self.seed),
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            deadline=deadline,
         )
 
     # -- internals -----------------------------------------------------------
@@ -240,3 +251,96 @@ class NSGA2:
             (ranks[first] == ranks[second]) & (crowding[first] > crowding[second])
         )
         return np.where(first_wins, first, second)
+
+
+class _NSGA2Steppable(SteppableOptimization):
+    """The NSGA-II generation loop decomposed for the stepwise driver.
+
+    The rank and crowding arrays are part of the checkpointed state: mating
+    selection at generation ``g+1`` reads the arrays produced by the
+    environmental selection of generation ``g``.
+    """
+
+    algorithm_name = "nsga2"
+
+    def __init__(self, algorithm: NSGA2) -> None:
+        self._algorithm = algorithm
+        self.population: Population | None = None
+        self.ranks: np.ndarray | None = None
+        self.crowding: np.ndarray | None = None
+        self.n_evaluations = 0
+
+    def setup(self, rng: np.random.Generator) -> None:
+        algorithm = self._algorithm
+        initial = algorithm.problem.initial_population(
+            algorithm.settings.population_size, rng
+        )
+        if not initial:
+            raise OptimizationError("the problem produced an empty initial population")
+        self.population = Population.from_individuals(initial)
+        self.ranks, self.crowding = algorithm._rank_and_crowd_arrays(self.population)
+        self.n_evaluations = self.population.size
+
+    def step(self, rng: np.random.Generator, generation: int) -> StepOutcome:
+        algorithm = self._algorithm
+        offspring_genomes = algorithm._make_offspring(
+            self.population, self.ranks, self.crowding, rng
+        )
+        offspring = Population.from_individuals(
+            algorithm.problem.evaluate_genomes(offspring_genomes)
+        )
+        self.n_evaluations += offspring.size
+        union = Population.concat(self.population, offspring)
+        self.population, self.ranks, self.crowding = algorithm._select_next_generation(
+            union
+        )
+        return StepOutcome(
+            archive_updates=1,
+            front_objectives=self.population.objectives[self.ranks == 0],
+            n_evaluations=self.n_evaluations,
+        )
+
+    def finish(self, generation: int) -> NSGA2Result:
+        individuals = self.elite_individuals()
+        front = non_dominated(individuals)
+        return NSGA2Result(
+            population=individuals,
+            front=front,
+            n_generations=generation + 1,
+            n_evaluations=self.n_evaluations,
+        )
+
+    def elite_individuals(self) -> list[Individual]:
+        # Result boundary: materialise views with their rank/crowding fields.
+        individuals = self.population.to_individuals()
+        for index, individual in enumerate(individuals):
+            individual.rank = int(self.ranks[index])
+            individual.crowding = float(self.crowding[index])
+        return individuals
+
+    def setup_fingerprint(self) -> str:
+        from dataclasses import asdict
+
+        return workload_fingerprint(
+            {
+                "algorithm": self.algorithm_name,
+                "problem": self._algorithm.problem.fingerprint_document(),
+                "settings": asdict(self._algorithm.settings),
+            }
+        )
+
+    def state_document(self) -> dict:
+        return {
+            "population": population_to_document(self.population, self._algorithm.problem),
+            "ranks": encode_array(self.ranks),
+            "crowding": encode_array(self.crowding),
+            "n_evaluations": self.n_evaluations,
+        }
+
+    def restore_state(self, document: dict) -> None:
+        self.population = population_from_document(
+            document["population"], self._algorithm.problem
+        )
+        self.ranks = decode_array(document["ranks"])
+        self.crowding = decode_array(document["crowding"])
+        self.n_evaluations = int(document["n_evaluations"])

@@ -14,6 +14,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.emoo.individual import Individual
+from repro.exceptions import OptimizationError
 
 
 class Problem(ABC):
@@ -66,3 +67,56 @@ class Problem(ABC):
         and batch-capable problems override it.
         """
         return [self.repair(genome, rng) for genome in genomes]
+
+    # -- checkpoint codec ----------------------------------------------------
+    def fingerprint_document(self) -> dict[str, Any]:
+        """JSON-compatible identity of this problem, hashed into checkpoint
+        workload fingerprints so a checkpoint can never silently resume into
+        a different problem.
+
+        The default only identifies the class — problems with workload
+        parameters (priors, record counts, bounds) should override this and
+        include them, as :class:`repro.core.problem.RRMatrixProblem` does.
+        """
+        return {"problem": type(self).__name__}
+
+    def genome_to_data(self, genome: Any) -> Any:
+        """Serialize one genome into JSON-compatible data for a checkpoint.
+
+        The default handles the representations the bundled problems use —
+        numpy arrays (stored bit-exactly as base64 bytes), plain scalars,
+        and (nested) lists/tuples of those.  Problems with richer genome
+        objects override this together with :meth:`genome_from_data`.
+        """
+        from repro.utils.arrays import encode_array
+
+        if isinstance(genome, np.ndarray):
+            return {"kind": "array", "array": encode_array(genome)}
+        if genome is None or isinstance(genome, (bool, int, float, str)):
+            return {"kind": "scalar", "value": genome}
+        if isinstance(genome, (np.bool_, np.integer, np.floating)):
+            return {"kind": "scalar", "value": genome.item()}
+        if isinstance(genome, (list, tuple)):
+            kind = "list" if isinstance(genome, list) else "tuple"
+            return {"kind": kind, "items": [self.genome_to_data(item) for item in genome]}
+        raise OptimizationError(
+            f"genomes of type {type(genome).__name__} are not checkpoint-serializable; "
+            "override Problem.genome_to_data/genome_from_data"
+        )
+
+    def genome_from_data(self, data: Any) -> Any:
+        """Rebuild a genome from :meth:`genome_to_data` output."""
+        from repro.utils.arrays import decode_array
+
+        if not isinstance(data, dict) or "kind" not in data:
+            raise OptimizationError(f"malformed genome document: {data!r}")
+        kind = data["kind"]
+        if kind == "array":
+            return decode_array(data["array"])
+        if kind == "scalar":
+            return data["value"]
+        if kind == "list":
+            return [self.genome_from_data(item) for item in data["items"]]
+        if kind == "tuple":
+            return tuple(self.genome_from_data(item) for item in data["items"])
+        raise OptimizationError(f"unknown genome document kind {kind!r}")

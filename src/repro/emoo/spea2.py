@@ -18,6 +18,15 @@ import numpy as np
 
 from repro.emoo.density import pairwise_distances
 from repro.emoo.dominance import non_dominated
+from repro.emoo.driver import (
+    OptimizationDriver,
+    StepOutcome,
+    SteppableOptimization,
+    build_driver,
+    population_from_document,
+    population_to_document,
+    workload_fingerprint,
+)
 from repro.emoo.fitness import spea2_fitness_from_arrays
 from repro.emoo.individual import Individual
 from repro.emoo.population import Population
@@ -26,7 +35,7 @@ from repro.emoo.selection import (
     binary_tournament_indices,
     environmental_selection_indices,
 )
-from repro.emoo.termination import GenerationState, MaxGenerations, TerminationCriterion
+from repro.emoo.termination import MaxGenerations, TerminationCriterion
 from repro.exceptions import OptimizationError
 from repro.types import SeedLike, as_rng
 from repro.utils.logging import get_logger
@@ -117,54 +126,50 @@ class SPEA2:
     def run(self, on_generation: GenerationCallback | None = None) -> SPEA2Result:
         """Run the optimization and return the result.
 
-        The generation loop is array-native: population and archive are
+        Thin wrapper over the stepwise driver (:meth:`driver`): the
+        generation loop is array-native — population and archive are
         structure-of-arrays :class:`~repro.emoo.population.Population`
         objects (genomes stay opaque), the per-generation pairwise distance
         matrix is shared between density estimation and truncation, and
         mating selection reuses the stamped environmental-selection fitness
         instead of re-assigning SPEA2 fitness to the archive.
         """
-        rng = as_rng(self.seed)
-        self.termination.reset()
-        settings = self.settings
-        initial = self.problem.initial_population(settings.population_size, rng)
-        if not initial:
-            raise OptimizationError("the problem produced an empty initial population")
-        population = Population.from_individuals(initial)
-        archive: Population | None = None
-        n_evaluations = population.size
-        generation = 0
-        while True:
-            union = population if archive is None else Population.concat(population, archive)
-            archive = self._environmental_selection(union, generation)
-            offspring_genomes = self._make_offspring(archive, rng, generation)
-            population = Population.from_individuals(
-                self.problem.evaluate_genomes(offspring_genomes)
-            )
-            n_evaluations += population.size
+        driver = self.driver()
+        algorithm = driver.optimization
+        for snapshot in driver.steps():
             if on_generation is not None:
-                on_generation(generation, archive.to_individuals())
-            state = GenerationState(generation=generation, archive_updates=1)
-            if self.termination.should_stop(state):
-                break
-            generation += 1
-        # Final selection over the last population and archive.
-        final = self._environmental_selection(
-            Population.concat(population, archive), generation
-        )
-        final_archive = final.to_individuals()
-        front = non_dominated(final_archive)
+                on_generation(snapshot.generation, algorithm.elite_individuals())
+        result = driver.result()
         logger.debug(
             "SPEA2 finished after %d generations (%d evaluations, front size %d)",
-            generation + 1,
-            n_evaluations,
-            len(front),
+            result.n_generations,
+            result.n_evaluations,
+            len(result.front),
         )
-        return SPEA2Result(
-            archive=final_archive,
-            front=front,
-            n_generations=generation + 1,
-            n_evaluations=n_evaluations,
+        return result
+
+    def driver(
+        self,
+        *,
+        seed: SeedLike = None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int | None = None,
+        deadline: float | None = None,
+    ) -> OptimizationDriver:
+        """Build the stepwise driver for this SPEA2 instance.
+
+        Like :meth:`repro.core.optimizer.OptRROptimizer.driver`, an ambient
+        :func:`~repro.emoo.driver.checkpoint_scope` is consulted when no
+        explicit checkpoint path is given (auto-claiming a checkpoint file
+        and resuming from a matching previous one).
+        """
+        return build_driver(
+            _SPEA2Steppable(self),
+            termination=self.termination,
+            rng=as_rng(seed if seed is not None else self.seed),
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            deadline=deadline,
         )
 
     # -- internals -----------------------------------------------------------
@@ -214,3 +219,99 @@ class SPEA2:
         # Repair runs over the whole offspring list at once so batch-capable
         # problems (RR matrices) vectorize it.
         return self.problem.repair_genomes(mutated, rng)
+
+
+class _SPEA2Steppable(SteppableOptimization):
+    """The SPEA2 generation loop decomposed for the stepwise driver."""
+
+    algorithm_name = "spea2"
+
+    def __init__(self, algorithm: SPEA2) -> None:
+        self._algorithm = algorithm
+        self.population: Population | None = None
+        self.archive: Population | None = None
+        self.n_evaluations = 0
+
+    def setup(self, rng: np.random.Generator) -> None:
+        algorithm = self._algorithm
+        initial = algorithm.problem.initial_population(
+            algorithm.settings.population_size, rng
+        )
+        if not initial:
+            raise OptimizationError("the problem produced an empty initial population")
+        self.population = Population.from_individuals(initial)
+        self.archive = None
+        self.n_evaluations = self.population.size
+
+    def step(self, rng: np.random.Generator, generation: int) -> StepOutcome:
+        algorithm = self._algorithm
+        union = (
+            self.population
+            if self.archive is None
+            else Population.concat(self.population, self.archive)
+        )
+        self.archive = algorithm._environmental_selection(union, generation)
+        offspring_genomes = algorithm._make_offspring(self.archive, rng, generation)
+        self.population = Population.from_individuals(
+            algorithm.problem.evaluate_genomes(offspring_genomes)
+        )
+        self.n_evaluations += self.population.size
+        front = self.archive.objectives[self.archive.feasible]
+        if front.shape[0] == 0:
+            front = self.archive.objectives
+        return StepOutcome(
+            archive_updates=1,
+            front_objectives=front,
+            n_evaluations=self.n_evaluations,
+        )
+
+    def finish(self, generation: int) -> SPEA2Result:
+        # Final selection over the last population and archive.
+        final = self._algorithm._environmental_selection(
+            Population.concat(self.population, self.archive), generation
+        )
+        final_archive = final.to_individuals()
+        front = non_dominated(final_archive)
+        return SPEA2Result(
+            archive=final_archive,
+            front=front,
+            n_generations=generation + 1,
+            n_evaluations=self.n_evaluations,
+        )
+
+    def elite_individuals(self) -> list[Individual]:
+        return self.archive.to_individuals()
+
+    def setup_fingerprint(self) -> str:
+        from dataclasses import asdict
+
+        return workload_fingerprint(
+            {
+                "algorithm": self.algorithm_name,
+                "problem": self._algorithm.problem.fingerprint_document(),
+                "settings": asdict(self._algorithm.settings),
+            }
+        )
+
+    def state_document(self) -> dict:
+        problem = self._algorithm.problem
+        return {
+            "population": population_to_document(self.population, problem),
+            "archive": (
+                population_to_document(self.archive, problem)
+                if self.archive is not None
+                else None
+            ),
+            "n_evaluations": self.n_evaluations,
+        }
+
+    def restore_state(self, document: dict) -> None:
+        problem = self._algorithm.problem
+        self.population = population_from_document(document["population"], problem)
+        archive_document = document.get("archive")
+        self.archive = (
+            population_from_document(archive_document, problem)
+            if archive_document is not None
+            else None
+        )
+        self.n_evaluations = int(document["n_evaluations"])

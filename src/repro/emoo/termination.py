@@ -2,13 +2,25 @@
 
 The paper mentions two stopping rules: a fixed generation budget and
 stagnation of the optimal set (no improvement for a number of consecutive
-generations).  Criteria can be combined with ``|`` (stop when either fires).
+generations).  This module adds the two production-run rules the stepwise
+driver needs — a wall-clock :class:`Deadline` and front-quality
+:class:`HypervolumeStagnation` — and criteria can be combined with ``|``
+(stop when either fires).
+
+Stateful criteria (stagnation counters, hypervolume bests) expose their
+internal state as a JSON-compatible document via :meth:`~TerminationCriterion.
+state_document` / :meth:`~TerminationCriterion.restore_state`, so a
+checkpointed run resumes with exactly the counters the interrupted run had.
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
 
 from repro.exceptions import OptimizationError
 from repro.utils.validation import check_positive_int
@@ -25,10 +37,21 @@ class GenerationState:
     archive_updates:
         Number of improvements made to the optimal set during this
         generation (0 means the generation made no progress).
+    front:
+        Optional ``(n_points, n_objectives)`` objective array of the current
+        elite front (minimisation convention).  Populated by the stepwise
+        driver; front-quality criteria such as :class:`HypervolumeStagnation`
+        read it and treat ``None`` as "unknown, keep running".
+    elapsed_seconds:
+        Cumulative wall time of the run so far, *including* the segments
+        before a checkpoint/resume cycle.  Populated by the stepwise driver;
+        :class:`Deadline` falls back to its own clock when left at 0.
     """
 
     generation: int
     archive_updates: int = 0
+    front: np.ndarray | None = None
+    elapsed_seconds: float = 0.0
 
 
 class TerminationCriterion(ABC):
@@ -40,6 +63,24 @@ class TerminationCriterion(ABC):
 
     def reset(self) -> None:
         """Reset internal counters before a new run (default: nothing)."""
+
+    def state_document(self) -> dict[str, Any]:
+        """JSON-compatible snapshot of the internal counters (default: none).
+
+        Stateless criteria return ``{}``; stateful ones must return enough to
+        make :meth:`restore_state` continue exactly where the serialized run
+        stopped.
+        """
+        return {}
+
+    def restore_state(self, document: dict[str, Any]) -> None:
+        """Restore the counters captured by :meth:`state_document`."""
+
+    def notify_resumed(self, elapsed_seconds: float) -> None:
+        """Called by the driver when a run resumes from a checkpoint, with
+        the cumulative elapsed time restored from it.  Wall-clock criteria
+        anchor themselves here so a deadline budgets the *new* segment, not
+        time already spent before the interruption (default: nothing)."""
 
     def __or__(self, other: "TerminationCriterion") -> "TerminationCriterion":
         return AnyCriterion((self, other))
@@ -79,6 +120,132 @@ class StagnationTermination(TerminationCriterion):
             self._stale += 1
         return self._stale >= self.patience
 
+    def state_document(self) -> dict[str, Any]:
+        return {"stale": self._stale}
+
+    def restore_state(self, document: dict[str, Any]) -> None:
+        self._stale = int(document.get("stale", 0))
+
+
+@dataclass
+class Deadline(TerminationCriterion):
+    """Stop once the current run segment's wall time reaches ``seconds``.
+
+    The stepwise driver feeds the cumulative elapsed time through
+    :attr:`GenerationState.elapsed_seconds`; on a checkpoint resume the
+    driver calls :meth:`notify_resumed` with the time already spent before
+    the interruption, and the deadline anchors there — the budget always
+    applies to the *new* work of this invocation, never to time a previous
+    segment consumed.  Outside the driver — where ``elapsed_seconds`` stays
+    0 — the criterion falls back to its own clock started at :meth:`reset`.
+
+    A deadline is inherently wall-clock-dependent: two runs with the same
+    seed may stop at different generations.  The bit-for-bit resume guarantee
+    therefore applies to *state*, not to where a deadline happens to fire.
+    """
+
+    seconds: float
+    _started: float | None = field(default=None, repr=False)
+    _anchor: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.seconds) or self.seconds <= 0:
+            raise OptimizationError(f"deadline seconds must be positive, got {self.seconds}")
+
+    def reset(self) -> None:
+        self._started = time.perf_counter()
+        self._anchor = 0.0
+
+    def notify_resumed(self, elapsed_seconds: float) -> None:
+        self._anchor = float(elapsed_seconds)
+        self._started = time.perf_counter()
+
+    def should_stop(self, state: GenerationState) -> bool:
+        if state.elapsed_seconds > 0:
+            return state.elapsed_seconds - self._anchor >= self.seconds
+        if self._started is None:
+            self._started = time.perf_counter()
+            return False
+        return time.perf_counter() - self._started >= self.seconds
+
+
+@dataclass
+class HypervolumeStagnation(TerminationCriterion):
+    """Stop after ``patience`` consecutive generations in which the elite
+    front's hypervolume fails to improve by more than ``min_improvement``.
+
+    The hypervolume is computed with :func:`repro.emoo.indicators.
+    hypervolume_2d` over the front carried by :attr:`GenerationState.front`
+    (two minimised objectives).  When no ``reference`` point is given, the
+    component-wise maximum of the first observed front is fixed as the
+    reference for the whole run — and serialized with the counters, so a
+    resumed run measures against the same reference.
+
+    Generations where the driver supplies no front (``state.front is None``)
+    keep the run going without touching the counters.
+    """
+
+    patience: int
+    reference: tuple[float, float] | None = None
+    min_improvement: float = 1e-12
+    _stale: int = field(default=0, repr=False)
+    _best: float = field(default=-np.inf, repr=False)
+    _reference: tuple[float, float] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.patience, "patience")
+        if self.min_improvement < 0:
+            raise OptimizationError(
+                f"min_improvement must be non-negative, got {self.min_improvement}"
+            )
+        self._reference = self.reference
+
+    def reset(self) -> None:
+        self._stale = 0
+        self._best = -np.inf
+        self._reference = self.reference
+
+    def should_stop(self, state: GenerationState) -> bool:
+        from repro.emoo.indicators import finite_front_hypervolume_2d
+
+        if state.front is None:
+            return False
+        front = np.asarray(state.front, dtype=np.float64)
+        if front.ndim != 2 or front.shape[1] != 2:
+            raise OptimizationError(
+                f"HypervolumeStagnation needs a (n, 2) front, got shape {front.shape}"
+            )
+        if self._reference is None:
+            finite = front[np.all(np.isfinite(front), axis=1)]
+            if finite.shape[0] == 0:
+                return False
+            nadir = finite.max(axis=0)
+            self._reference = (float(nadir[0]), float(nadir[1]))
+        volume = finite_front_hypervolume_2d(front, self._reference)
+        if volume is None:
+            return False
+        if volume > self._best + self.min_improvement:
+            self._best = volume
+            self._stale = 0
+        else:
+            self._stale += 1
+        return self._stale >= self.patience
+
+    def state_document(self) -> dict[str, Any]:
+        return {
+            "stale": self._stale,
+            "best": self._best,
+            "reference": list(self._reference) if self._reference is not None else None,
+        }
+
+    def restore_state(self, document: dict[str, Any]) -> None:
+        self._stale = int(document.get("stale", 0))
+        self._best = float(document.get("best", -np.inf))
+        reference = document.get("reference")
+        self._reference = (
+            (float(reference[0]), float(reference[1])) if reference is not None else self.reference
+        )
+
 
 @dataclass
 class AnyCriterion(TerminationCriterion):
@@ -98,3 +265,37 @@ class AnyCriterion(TerminationCriterion):
         # Evaluate every criterion so stateful ones keep their counters fresh.
         results = [criterion.should_stop(state) for criterion in self.criteria]
         return any(results)
+
+    def state_document(self) -> dict[str, Any]:
+        # Entries are tagged with the criterion class so a resume under a
+        # *changed* composition (e.g. a --deadline added or dropped) can
+        # never misassign counters positionally.
+        return {
+            "criteria": [
+                {"kind": type(criterion).__name__, "state": criterion.state_document()}
+                for criterion in self.criteria
+            ]
+        }
+
+    def restore_state(self, document: dict[str, Any]) -> None:
+        # Match stored entries to criteria by kind, in order.  Criteria the
+        # checkpoint has no entry for keep their reset state; stored entries
+        # with no matching criterion are dropped — continuation of stateful
+        # counters is exact when the composition is unchanged and
+        # best-effort when the caller changed the stopping rule.
+        entries = [
+            entry
+            for entry in document.get("criteria", [])
+            if isinstance(entry, dict) and "kind" in entry
+        ]
+        for criterion in self.criteria:
+            kind = type(criterion).__name__
+            for index, entry in enumerate(entries):
+                if entry["kind"] == kind:
+                    criterion.restore_state(entry.get("state") or {})
+                    entries.pop(index)
+                    break
+
+    def notify_resumed(self, elapsed_seconds: float) -> None:
+        for criterion in self.criteria:
+            criterion.notify_resumed(elapsed_seconds)

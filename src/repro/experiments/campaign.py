@@ -41,6 +41,7 @@ from repro.analysis.aggregate import (
     aggregate_campaign_runs,
     aggregate_to_document,
 )
+from repro.core.driver import DEFAULT_CHECKPOINT_EVERY
 from repro.exceptions import ExperimentError, ReproError
 from repro.experiments.base import ExperimentResult, environment_override_defaults
 from repro.experiments.grid import DocumentCache, execute_grid
@@ -260,6 +261,7 @@ def run_campaign(
     overrides: Mapping[str, Any] | None = None,
     n_jobs: int = 1,
     cache_dir: str | Path | None = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     on_task_done: Callable[[CampaignTask, bool], None] | None = None,
 ) -> CampaignResult:
     """Run a campaign grid, in parallel when ``n_jobs > 1``.
@@ -280,7 +282,14 @@ def run_campaign(
         Worker processes; ``1`` runs everything in this process.
     cache_dir:
         Directory of the content-addressed result cache; ``None`` disables
-        caching.
+        caching.  When caching is on, a ``partial/`` subdirectory holds
+        per-cell optimizer checkpoints: a campaign killed mid-cell resumes
+        that cell from its last checkpoint on the next run (producing the
+        byte-identical result document the uninterrupted cell would have),
+        and a cell's partials are deleted once its result is cached.
+    checkpoint_every:
+        Checkpoint cadence (generations) for the per-cell partial
+        checkpoints.
     on_task_done:
         Optional progress callback invoked as ``(task, from_cache)`` when
         each task finishes (completion order).
@@ -309,6 +318,8 @@ def run_campaign(
         parse=experiment_result_from_dict,
         keys=[task.cache_key() for task in tasks],
         cache=cache,
+        checkpoint_dir=(cache.directory / "partial") if cache is not None else None,
+        checkpoint_every=checkpoint_every,
         n_jobs=n_jobs,
         on_task_done=(
             None

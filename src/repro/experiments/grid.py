@@ -28,9 +28,32 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
+from repro.core.driver import DEFAULT_CHECKPOINT_EVERY, CheckpointScope, checkpoint_scope
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
+
+
+def _run_cell(
+    bundle: tuple[Callable[[Any], dict[str, Any]], Any, str | None, str, int],
+) -> dict[str, Any]:
+    """Execute one grid cell under its checkpoint scope.
+
+    Module-level so the process pool can pickle it by reference.  Every
+    optimizer run the cell performs claims a ``<token>-<i>.json`` checkpoint
+    file inside ``directory`` and auto-resumes from it, so a cell that was
+    killed mid-optimization continues from its last checkpoint instead of
+    recomputing — and, by the driver's resume invariant, still produces the
+    byte-identical result document.  The cell's partial checkpoints are
+    deleted only after the result document is safely collected and cached
+    (in ``execute_grid``'s collection step, not here — a crash between the
+    cell finishing and the result landing must not lose the partials).
+    """
+    worker, payload, directory, token, every = bundle
+    if directory is None:
+        return worker(payload)
+    with checkpoint_scope(directory, token=token, every=every):
+        return worker(payload)
 
 
 class DocumentCache:
@@ -121,6 +144,8 @@ def execute_grid(
     n_jobs: int = 1,
     on_task_done: Callable[[int, bool], None] | None = None,
     label: str = "grid",
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
 ) -> list[GridOutcome]:
     """Run a grid of independent tasks, in parallel when ``n_jobs > 1``.
 
@@ -150,6 +175,15 @@ def execute_grid(
         each cell finishes (completion order).
     label:
         Human-readable workload name used in log lines.
+    checkpoint_dir:
+        Directory for per-cell partial checkpoints.  Each cell runs inside a
+        :func:`~repro.core.driver.checkpoint_scope` keyed by its cache key
+        (or grid index), so optimizer runs inside an interrupted cell resume
+        from their last checkpoint when the grid re-runs, instead of
+        recomputing the cell from scratch.  ``None`` disables cell
+        checkpointing.
+    checkpoint_every:
+        Checkpoint cadence (generations) for the cell scopes.
 
     Returns
     -------
@@ -190,6 +224,10 @@ def execute_grid(
         from_cache[index] = False
         if cache is not None:
             cache.store_document(keys[index], document)
+        if checkpoint_root is not None:
+            # The result is collected (and cached); only now are the cell's
+            # partial checkpoints redundant.
+            CheckpointScope(directory=Path(checkpoint_root), token=token_for(index)).clear()
         if on_task_done is not None:
             on_task_done(index, False)
 
@@ -199,13 +237,22 @@ def execute_grid(
             label, len(pending), len(payloads), len(payloads) - len(pending),
             max(1, n_jobs),
         )
+
+    checkpoint_root = str(checkpoint_dir) if checkpoint_dir is not None else None
+
+    def token_for(index: int) -> str:
+        return keys[index] if keys is not None else f"cell-{index}"
+
+    def bundle(index: int) -> tuple:
+        return (worker, payloads[index], checkpoint_root, token_for(index), checkpoint_every)
+
     if n_jobs <= 1 or len(pending) <= 1:
         for index in pending:
-            finish(index, worker(payloads[index]))
+            finish(index, _run_cell(bundle(index)))
     else:
         with ProcessPoolExecutor(max_workers=min(n_jobs, len(pending))) as executor:
             futures = {
-                executor.submit(worker, payloads[index]): index for index in pending
+                executor.submit(_run_cell, bundle(index)): index for index in pending
             }
             try:
                 for future in as_completed(futures):

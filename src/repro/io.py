@@ -11,11 +11,18 @@ covered by the test suite.
 Experiment-result documents are always written with sorted keys so the same
 result serializes to byte-identical JSON — the property the campaign cache
 and the campaign determinism guarantee are built on.
+
+The ``checkpoint`` document type (:func:`save_checkpoint` /
+:func:`load_checkpoint`) stores a whole optimization run's resumable state;
+its payload is produced and consumed by :mod:`repro.core.driver`, and its
+schema is documented in ``docs/cli.md``.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -336,6 +343,50 @@ def load_pipeline_result(path: str | Path) -> "PipelineResult":
     :func:`save_pipeline_result`."""
     document = json.loads(Path(path).read_text(encoding="utf-8"))
     return pipeline_result_from_dict(document)
+
+
+def save_checkpoint(document: dict[str, Any], path: str | Path) -> Path:
+    """Atomically write a ``checkpoint`` document and return its path.
+
+    Checkpoints are produced by :meth:`repro.core.driver.OptimizationDriver.
+    checkpoint_document`: a versioned snapshot of a whole optimization run
+    (population/archive/Ω arrays as base64 bytes, termination counters, the
+    NumPy bit-generator state).  The write goes through a temporary file in
+    the destination directory plus :func:`os.replace`, so a run killed
+    mid-checkpoint never leaves a partial document — the previous checkpoint
+    survives intact.  Compact JSON keeps the per-generation serialization
+    cost off the optimization hot path.
+    """
+    _check_document(document, "checkpoint")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temporary = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-checkpoint-", suffix=".json"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(document, sort_keys=True, separators=(",", ":")))
+        os.replace(temporary, path)
+    except BaseException:
+        try:
+            os.unlink(temporary)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_checkpoint(path: str | Path) -> dict[str, Any]:
+    """Read and validate a ``checkpoint`` document written by
+    :func:`save_checkpoint`.
+
+    Only the document envelope is validated here (type and format version);
+    the algorithm-specific payload is validated by
+    :meth:`repro.core.driver.OptimizationDriver.restore`.
+    """
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    _check_document(document, "checkpoint")
+    return document
 
 
 def dump_canonical_json(document: dict[str, Any]) -> str:

@@ -1,0 +1,374 @@
+"""Stepwise driver + checkpoint/resume tests.
+
+The hard invariant under test: a run killed after any generation ``k`` and
+resumed from its checkpoint produces the final front, Ω spectrum, matrices
+and RNG stream bit-for-bit identical to the uninterrupted run — for OptRR,
+SPEA2 and NSGA-II alike.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import OptRRConfig
+from repro.core.driver import (
+    OptimizationDriver,
+    checkpoint_scope,
+    claim_scoped_checkpoint,
+)
+from repro.core.optimizer import OptRROptimizer
+from repro.core.problem import RRMatrixProblem
+from repro.data.synthetic import normal_distribution
+from repro.emoo.nsga2 import NSGA2, NSGA2Settings
+from repro.emoo.spea2 import SPEA2, SPEA2Settings
+from repro.emoo.termination import Deadline, MaxGenerations
+from repro.exceptions import OptimizationError, ValidationError
+from repro.io import load_checkpoint, result_to_dict
+
+from tests.emoo.conftest import SphereTradeoffProblem
+
+N_GENERATIONS = 5
+
+
+def make_optrr() -> OptRROptimizer:
+    return OptRROptimizer(
+        normal_distribution(7),
+        4000,
+        OptRRConfig(
+            population_size=10,
+            archive_size=10,
+            n_generations=N_GENERATIONS,
+            delta=0.8,
+            seed=11,
+            baseline_seeds=101,
+        ),
+    )
+
+
+def make_spea2() -> SPEA2:
+    return SPEA2(
+        SphereTradeoffProblem(),
+        SPEA2Settings(population_size=10, archive_size=8),
+        termination=MaxGenerations(N_GENERATIONS),
+        seed=7,
+    )
+
+
+def make_nsga2() -> NSGA2:
+    return NSGA2(
+        SphereTradeoffProblem(),
+        NSGA2Settings(population_size=10),
+        termination=MaxGenerations(N_GENERATIONS),
+        seed=7,
+    )
+
+
+def optrr_result_key(result) -> str:
+    return json.dumps(result_to_dict(result, include_optimal_set=True), sort_keys=True)
+
+
+def generic_result_key(result) -> list:
+    return sorted(
+        (tuple(member.objectives.tolist()), repr(member.genome))
+        for member in result.front
+    )
+
+
+def run_interrupted(factory, kill_after: int, checkpoint_path):
+    """Run a driver, abandon it after ``kill_after + 1`` generations, and
+    return the checkpoint document it left behind."""
+    driver = factory().driver(checkpoint_path=str(checkpoint_path), checkpoint_every=1)
+    steps = driver.steps()
+    for _ in range(kill_after + 1):
+        snapshot = next(steps)
+        if snapshot.stopped:
+            break
+    return load_checkpoint(checkpoint_path)
+
+
+class TestResumeEquivalence:
+    """Kill-at-every-generation resume equivalence, per algorithm."""
+
+    @pytest.mark.parametrize("kill_after", range(N_GENERATIONS))
+    def test_optrr_resume_bit_for_bit(self, tmp_path, kill_after):
+        reference = optrr_result_key(make_optrr().run())
+        document = run_interrupted(make_optrr, kill_after, tmp_path / "ck.json")
+        optimizer = OptRROptimizer.from_checkpoint(document)
+        driver = optimizer.driver()
+        driver.restore(document)
+        assert optrr_result_key(optimizer.run_driver(driver)) == reference
+
+    @pytest.mark.parametrize("kill_after", range(N_GENERATIONS))
+    def test_spea2_resume_bit_for_bit(self, tmp_path, kill_after):
+        reference = make_spea2().run()
+        document = run_interrupted(make_spea2, kill_after, tmp_path / "ck.json")
+        driver = make_spea2().driver()
+        driver.restore(document)
+        resumed = driver.run()
+        assert generic_result_key(resumed) == generic_result_key(reference)
+        assert resumed.n_generations == reference.n_generations
+        assert resumed.n_evaluations == reference.n_evaluations
+
+    @pytest.mark.parametrize("kill_after", range(N_GENERATIONS))
+    def test_nsga2_resume_bit_for_bit(self, tmp_path, kill_after):
+        reference = make_nsga2().run()
+        document = run_interrupted(make_nsga2, kill_after, tmp_path / "ck.json")
+        driver = make_nsga2().driver()
+        driver.restore(document)
+        resumed = driver.run()
+        assert generic_result_key(resumed) == generic_result_key(reference)
+        assert resumed.n_generations == reference.n_generations
+        assert resumed.n_evaluations == reference.n_evaluations
+
+    def test_resume_continues_rng_stream_exactly(self, tmp_path):
+        """The resumed driver's generator continues the interrupted stream:
+        the restored bit-generator state equals the checkpointed one, so the
+        next draws are bit-for-bit the draws the interrupted run would have
+        made."""
+        path = tmp_path / "ck.json"
+        driver = make_optrr().driver(checkpoint_path=str(path), checkpoint_every=1)
+        steps = driver.steps()
+        next(steps)
+        next(steps)
+        expected = driver.rng.random(64)  # what the interrupted run draws next
+        document = load_checkpoint(path)
+        resumed = make_optrr().driver()
+        resumed.restore(document)
+        np.testing.assert_array_equal(resumed.rng.random(64), expected)
+
+    def test_spea2_on_rr_matrix_problem_round_trips(self, tmp_path):
+        """The generic engine checkpoints RRMatrix genomes via the codec."""
+        def make() -> SPEA2:
+            return SPEA2(
+                RRMatrixProblem(normal_distribution(6), 4000, delta=0.85),
+                SPEA2Settings(population_size=8, archive_size=8),
+                termination=MaxGenerations(4),
+                seed=3,
+            )
+
+        def key(result):
+            return sorted(
+                tuple(member.objectives.tolist())
+                + tuple(member.genome.probabilities.ravel().tolist())
+                for member in result.front
+            )
+
+        reference = make().run()
+        path = tmp_path / "ck.json"
+        driver = make().driver(checkpoint_path=str(path), checkpoint_every=1)
+        steps = driver.steps()
+        next(steps)
+        next(steps)
+        resumed = make().driver()
+        resumed.restore(load_checkpoint(path))
+        assert key(resumed.run()) == key(reference)
+
+
+class TestDriverBehaviour:
+    def test_snapshots_are_enriched(self):
+        driver = make_optrr().driver()
+        snapshots = list(driver.steps())
+        assert [snapshot.generation for snapshot in snapshots] == list(range(N_GENERATIONS))
+        assert snapshots[-1].stopped and not snapshots[0].stopped
+        for snapshot in snapshots:
+            assert snapshot.front_objectives.ndim == 2
+            assert snapshot.front_size == snapshot.front_objectives.shape[0]
+            assert np.isfinite(snapshot.hypervolume)
+            assert snapshot.n_evaluations > 0
+            assert snapshot.elapsed_seconds >= 0.0
+        # Hypervolume of the elite front never shrinks dramatically over a
+        # seeded run; it must at least be monotone-ish in magnitude terms.
+        assert snapshots[-1].elapsed_seconds >= snapshots[0].elapsed_seconds
+
+    def test_result_requires_termination(self):
+        driver = make_optrr().driver()
+        steps = driver.steps()
+        next(steps)
+        with pytest.raises(OptimizationError, match="not terminated"):
+            driver.result()
+
+    def test_run_matches_legacy_run(self):
+        via_driver = make_optrr().driver().run()
+        via_run = make_optrr().run()
+        assert optrr_result_key(via_driver) == optrr_result_key(via_run)
+
+    def test_deadline_stops_early(self):
+        optimizer = OptRROptimizer(
+            normal_distribution(7),
+            4000,
+            OptRRConfig(
+                population_size=10, archive_size=10, n_generations=100_000, seed=1
+            ),
+        )
+        driver = optimizer.driver(deadline=0.15)
+        result = optimizer.run_driver(driver)
+        assert result.n_generations < 100_000
+
+    def test_restore_rejects_other_algorithm(self, tmp_path):
+        path = tmp_path / "ck.json"
+        driver = make_spea2().driver(checkpoint_path=str(path), checkpoint_every=1)
+        next(driver.steps())
+        document = load_checkpoint(path)
+        with pytest.raises(ValidationError, match="algorithm"):
+            make_optrr().driver().restore(document)
+
+    def test_generic_engine_fingerprint_covers_problem_workload(self, tmp_path):
+        """A SPEA2 checkpoint must not resume into the same problem *class*
+        with a different workload (prior/bound) — the fingerprint hashes the
+        problem's identity document, not just its name."""
+        path = tmp_path / "ck.json"
+
+        def make(delta):
+            return SPEA2(
+                RRMatrixProblem(normal_distribution(6), 4000, delta=delta),
+                SPEA2Settings(population_size=8, archive_size=8),
+                termination=MaxGenerations(4),
+                seed=3,
+            )
+
+        next(make(0.85).driver(checkpoint_path=str(path), checkpoint_every=1).steps())
+        document = load_checkpoint(path)
+        with pytest.raises(ValidationError, match="fingerprint"):
+            make(0.6).driver().restore(document)
+
+    def test_restore_rejects_other_workload(self, tmp_path):
+        path = tmp_path / "ck.json"
+        driver = make_optrr().driver(checkpoint_path=str(path), checkpoint_every=1)
+        next(driver.steps())
+        document = load_checkpoint(path)
+        other = OptRROptimizer(
+            normal_distribution(7),
+            4000,
+            OptRRConfig(
+                population_size=10, archive_size=10, n_generations=5, delta=0.9, seed=11
+            ),
+        )
+        with pytest.raises(ValidationError, match="fingerprint"):
+            other.driver().restore(document)
+
+    def test_restore_of_stopped_checkpoint_reproduces_result(self, tmp_path):
+        path = tmp_path / "ck.json"
+        reference = make_optrr().run(checkpoint_path=str(path), checkpoint_every=1)
+        document = load_checkpoint(path)
+        assert document["stopped"] is True
+        optimizer = OptRROptimizer.from_checkpoint(document)
+        driver = optimizer.driver()
+        driver.restore(document)
+        assert driver.finished
+        assert list(driver.steps()) == []
+        assert optrr_result_key(driver.result()) == optrr_result_key(reference)
+
+    def test_reopen_extends_a_finished_run(self, tmp_path):
+        path = tmp_path / "ck.json"
+        make_optrr().run(checkpoint_path=str(path), checkpoint_every=1)
+        document = load_checkpoint(path)
+        optimizer = OptRROptimizer.from_checkpoint(document)
+        extended = OptRROptimizer(
+            optimizer.prior,
+            optimizer.n_records,
+            optimizer.config.with_updates(n_generations=N_GENERATIONS + 3),
+        )
+        driver = extended.driver()
+        driver.restore(document, reopen=True)
+        result = extended.run_driver(driver)
+        assert result.n_generations == N_GENERATIONS + 3
+        # ... and it matches the uninterrupted longer run bit for bit.
+        uninterrupted = OptRROptimizer(
+            extended.prior, extended.n_records, extended.config
+        ).run()
+        assert optrr_result_key(result) == optrr_result_key(uninterrupted)
+
+    def test_checkpoint_cadence(self, tmp_path):
+        path = tmp_path / "ck.json"
+        writes = []
+        driver = make_optrr().driver(checkpoint_path=str(path), checkpoint_every=2)
+        for snapshot in driver.steps():
+            if path.exists():
+                document = load_checkpoint(path)
+                writes.append((snapshot.generation, document["generation"]))
+        # Cadence 2 over 5 generations: checkpoints after generations 1, 3
+        # and the final generation 4.
+        assert [written for _, written in writes][-3:] == [1, 3, 4]
+
+    def test_nsga2_on_generation_callback(self):
+        """Satellite: NSGA2.run accepts the same callback shape as SPEA2."""
+        seen = []
+
+        def callback(generation, individuals):
+            seen.append((generation, len(individuals)))
+            assert all(member.rank >= 0 for member in individuals)
+
+        result = make_nsga2().run(on_generation=callback)
+        assert [generation for generation, _ in seen] == list(range(N_GENERATIONS))
+        assert all(count == 10 for _, count in seen)
+        assert result.n_generations == N_GENERATIONS
+
+
+class TestCheckpointScope:
+    def test_scope_claims_and_resumes(self, tmp_path):
+        reference = optrr_result_key(make_optrr().run())
+        with checkpoint_scope(tmp_path, token="cell", every=1):
+            driver = make_optrr().driver()
+            steps = driver.steps()
+            next(steps)
+            next(steps)
+        assert (tmp_path / "cell-0.json").is_file()
+        # A fresh run in a new scope with the same token auto-resumes.
+        with checkpoint_scope(tmp_path, token="cell", every=1):
+            resumed_driver = make_optrr().driver()
+            assert resumed_driver.generation > 0
+            result = make_optrr().run_driver(resumed_driver)
+        assert optrr_result_key(result) == reference
+
+    def test_scope_ignores_mismatched_checkpoint(self, tmp_path):
+        with checkpoint_scope(tmp_path, token="cell", every=1):
+            next(make_spea2().driver().steps())
+        with checkpoint_scope(tmp_path, token="cell", every=1):
+            driver = make_optrr().driver()
+            assert driver.generation == 0  # fresh start, not a broken resume
+
+    def test_scope_clear_removes_partials(self, tmp_path):
+        with checkpoint_scope(tmp_path, token="cell", every=1) as scope:
+            next(make_optrr().driver().steps())
+            assert list(tmp_path.glob("cell-*.json"))
+            scope.clear()
+        assert not list(tmp_path.glob("cell-*.json"))
+
+    def test_claims_are_sequential(self, tmp_path):
+        with checkpoint_scope(tmp_path, token="cell") as scope:
+            first, _, _, _ = claim_scoped_checkpoint()
+            second, _, _, _ = claim_scoped_checkpoint()
+        assert first != second
+        assert scope.directory == tmp_path
+
+    def test_deadline_only_scope(self):
+        with checkpoint_scope(None, deadline=30.0):
+            path, _, remaining, document = claim_scoped_checkpoint()
+        assert path is None and document is None
+        assert 0 < remaining <= 30.0
+
+    def test_scoped_deadline_reaches_driver(self):
+        with checkpoint_scope(None, deadline=1e9):
+            driver = make_optrr().driver()
+        criteria = driver.termination.criteria
+        assert any(isinstance(criterion, Deadline) for criterion in criteria)
+
+
+class TestDriverValidation:
+    def test_checkpoint_every_must_be_positive(self):
+        with pytest.raises(OptimizationError, match="checkpoint_every"):
+            OptimizationDriver(
+                make_optrr().driver().optimization,
+                termination=MaxGenerations(1),
+                checkpoint_every=0,
+            )
+
+    def test_restore_after_start_fails(self, tmp_path):
+        path = tmp_path / "ck.json"
+        driver = make_optrr().driver(checkpoint_path=str(path), checkpoint_every=1)
+        next(driver.steps())
+        with pytest.raises(OptimizationError, match="already started"):
+            driver.restore(load_checkpoint(path))

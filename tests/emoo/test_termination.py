@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.emoo.termination import (
     AnyCriterion,
+    Deadline,
     GenerationState,
+    HypervolumeStagnation,
     MaxGenerations,
     StagnationTermination,
 )
@@ -43,6 +48,159 @@ class TestStagnation:
         assert criterion.should_stop(GenerationState(0, archive_updates=0))
         criterion.reset()
         assert not criterion.should_stop(GenerationState(1, archive_updates=1))
+
+
+class TestDeadline:
+    def test_uses_driver_elapsed_time(self):
+        criterion = Deadline(10.0)
+        assert not criterion.should_stop(GenerationState(0, elapsed_seconds=9.9))
+        assert criterion.should_stop(GenerationState(1, elapsed_seconds=10.0))
+
+    def test_falls_back_to_own_clock(self):
+        criterion = Deadline(0.02)
+        criterion.reset()
+        assert not criterion.should_stop(GenerationState(0))
+        time.sleep(0.03)
+        assert criterion.should_stop(GenerationState(1))
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(OptimizationError, match="positive"):
+            Deadline(0.0)
+
+    def test_composes_with_or(self):
+        combined = MaxGenerations(3) | Deadline(1e9)
+        assert isinstance(combined, AnyCriterion)
+        assert not combined.should_stop(GenerationState(0, elapsed_seconds=1.0))
+        assert combined.should_stop(GenerationState(2, elapsed_seconds=1.0))
+        # ... and the deadline side fires independently of the budget.
+        combined = MaxGenerations(1000) | Deadline(5.0)
+        assert combined.should_stop(GenerationState(0, elapsed_seconds=6.0))
+
+
+def front(*points):
+    return np.asarray(points, dtype=np.float64)
+
+
+class TestHypervolumeStagnation:
+    def test_stops_when_hypervolume_stalls(self):
+        criterion = HypervolumeStagnation(patience=2, reference=(1.0, 1.0))
+        improving = front([0.5, 0.5])
+        better = front([0.4, 0.4])
+        assert not criterion.should_stop(GenerationState(0, front=improving))
+        assert not criterion.should_stop(GenerationState(1, front=better))
+        assert not criterion.should_stop(GenerationState(2, front=better))
+        assert criterion.should_stop(GenerationState(3, front=better))
+
+    def test_improvement_resets_patience(self):
+        criterion = HypervolumeStagnation(patience=2, reference=(1.0, 1.0))
+        assert not criterion.should_stop(GenerationState(0, front=front([0.5, 0.5])))
+        assert not criterion.should_stop(GenerationState(1, front=front([0.5, 0.5])))
+        assert not criterion.should_stop(GenerationState(2, front=front([0.3, 0.3])))
+        assert not criterion.should_stop(GenerationState(3, front=front([0.3, 0.3])))
+        assert criterion.should_stop(GenerationState(4, front=front([0.3, 0.3])))
+
+    def test_missing_front_keeps_running(self):
+        criterion = HypervolumeStagnation(patience=1, reference=(1.0, 1.0))
+        assert not criterion.should_stop(GenerationState(0))
+        assert not criterion.should_stop(GenerationState(1, front=np.empty((0, 2))))
+
+    def test_reference_fixed_from_first_front(self):
+        criterion = HypervolumeStagnation(patience=3)
+        criterion.reset()
+        criterion.should_stop(GenerationState(0, front=front([0.2, 0.9], [0.8, 0.1])))
+        assert criterion.state_document()["reference"] == [0.8, 0.9]
+
+    def test_rejects_bad_front_shape(self):
+        criterion = HypervolumeStagnation(patience=1)
+        with pytest.raises(OptimizationError, match="front"):
+            criterion.should_stop(GenerationState(0, front=np.zeros((2, 3))))
+
+    def test_composes_with_or(self):
+        combined = MaxGenerations(1000) | HypervolumeStagnation(
+            patience=1, reference=(1.0, 1.0)
+        )
+        stalled = front([0.5, 0.5])
+        assert not combined.should_stop(GenerationState(0, front=stalled))
+        assert combined.should_stop(GenerationState(1, front=stalled))
+
+    def test_state_round_trip_resumes_counters(self):
+        criterion = HypervolumeStagnation(patience=3, reference=(1.0, 1.0))
+        criterion.reset()
+        stalled = front([0.5, 0.5])
+        criterion.should_stop(GenerationState(0, front=stalled))
+        criterion.should_stop(GenerationState(1, front=stalled))
+        document = criterion.state_document()
+        restored = HypervolumeStagnation(patience=3, reference=(1.0, 1.0))
+        restored.restore_state(document)
+        # One more stalled generation fires (2 stale + 1 == patience).
+        assert not restored.should_stop(GenerationState(2, front=stalled))
+        assert restored.should_stop(GenerationState(3, front=stalled))
+
+
+class TestStateDocuments:
+    def test_stagnation_round_trip(self):
+        criterion = StagnationTermination(patience=3)
+        criterion.should_stop(GenerationState(0, archive_updates=0))
+        restored = StagnationTermination(patience=3)
+        restored.restore_state(criterion.state_document())
+        assert not restored.should_stop(GenerationState(1, archive_updates=0))
+        assert restored.should_stop(GenerationState(2, archive_updates=0))
+
+    def test_any_criterion_round_trip(self):
+        combined = MaxGenerations(100) | StagnationTermination(patience=2)
+        combined.should_stop(GenerationState(0, archive_updates=0))
+        document = combined.state_document()
+        restored = MaxGenerations(100) | StagnationTermination(patience=2)
+        restored.restore_state(document)
+        assert restored.should_stop(GenerationState(1, archive_updates=0))
+
+    def test_restore_matches_criteria_by_kind_not_position(self):
+        """A checkpoint written under (MaxGen | Stagnation) | Deadline resumed
+        without the deadline must still land the stagnation counter on the
+        stagnation criterion (never positionally on something else)."""
+        original = (MaxGenerations(100) | StagnationTermination(patience=3)) | Deadline(60)
+        original.reset()
+        original.should_stop(GenerationState(0, archive_updates=0, elapsed_seconds=1.0))
+        original.should_stop(GenerationState(1, archive_updates=0, elapsed_seconds=2.0))
+        document = original.state_document()
+        # Same composition: counters continue exactly.
+        same = (MaxGenerations(100) | StagnationTermination(patience=3)) | Deadline(60)
+        same.restore_state(document)
+        assert same.should_stop(GenerationState(2, archive_updates=0, elapsed_seconds=3.0))
+        # Dropped deadline: the nested pair still restores by kind.
+        changed = MaxGenerations(100) | StagnationTermination(patience=3)
+        changed.restore_state(document["criteria"][0]["state"])
+        assert changed.should_stop(
+            GenerationState(2, archive_updates=0, elapsed_seconds=3.0)
+        )
+
+    def test_restore_with_extra_criterion_keeps_reset_state(self):
+        """Criteria the checkpoint has no entry for start from reset (a
+        composition change is best-effort, never a crash)."""
+        stored = (MaxGenerations(100) | StagnationTermination(patience=2)).state_document()
+        combined = MaxGenerations(100) | StagnationTermination(patience=2)
+        combined.restore_state(stored)  # exact arity: fine
+        grown = (MaxGenerations(100) | StagnationTermination(patience=2)) | Deadline(60)
+        grown.restore_state({"criteria": stored["criteria"] + []})  # no crash
+
+    def test_deadline_anchors_on_resume(self):
+        """After notify_resumed(elapsed), a deadline budgets only new work."""
+        criterion = Deadline(100.0)
+        criterion.reset()
+        criterion.notify_resumed(90.0)
+        # 90s were consumed before the interruption; 50s of new work is fine.
+        assert not criterion.should_stop(GenerationState(0, elapsed_seconds=140.0))
+        assert criterion.should_stop(GenerationState(1, elapsed_seconds=190.0))
+
+    def test_any_criterion_forwards_notify_resumed(self):
+        combined = MaxGenerations(10) | Deadline(100.0)
+        combined.reset()
+        combined.notify_resumed(95.0)
+        assert not combined.should_stop(GenerationState(0, elapsed_seconds=100.0))
+
+    def test_stateless_criteria_have_empty_documents(self):
+        assert MaxGenerations(5).state_document() == {}
+        assert Deadline(5.0).state_document() == {}
 
 
 class TestAnyCriterion:

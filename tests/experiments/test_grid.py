@@ -102,3 +102,97 @@ class TestExecuteGrid:
             on_task_done=lambda index, cached: seen.append((index, cached)),
         )
         assert sorted(seen) == [(0, True), (1, False)]
+
+
+# -- interrupted-cell resume ---------------------------------------------------
+#: Module-level so the grid executor can pickle it by reference; configured
+#: through the payload because worker processes share no state with the test.
+def _optimizer_cell_worker(payload):
+    """A grid cell that runs a real OptRR optimization — and optionally
+    crashes after a fixed number of generations (simulating a kill)."""
+    import numpy as np
+
+    from repro.core.config import OptRRConfig
+    from repro.core.optimizer import OptRROptimizer
+    from repro.data.synthetic import normal_distribution
+    from repro.io import result_to_dict
+
+    optimizer = OptRROptimizer(
+        normal_distribution(6),
+        3000,
+        OptRRConfig(
+            population_size=8,
+            archive_size=8,
+            n_generations=int(payload["generations"]),
+            delta=0.85,
+            seed=int(payload["seed"]),
+        ),
+    )
+    driver = optimizer.driver()
+    executed = 0
+    for _snapshot in driver.steps():
+        executed += 1
+        crash_after = payload.get("crash_after")
+        if crash_after is not None and executed >= crash_after:
+            raise RuntimeError("simulated mid-cell kill")
+    result = driver.result()
+    document = result_to_dict(result, include_optimal_set=True)
+    document["type"] = "test_doc"
+    document["value"] = executed  # generations executed in THIS attempt
+    document["front_privacy"] = [float(p) for p in np.asarray(result.privacy_values())]
+    return document
+
+
+class TestInterruptedCellResume:
+    """A cell killed mid-optimization resumes from its partial checkpoint on
+    the next grid run — producing the byte-identical result document while
+    re-executing only the remaining generations."""
+
+    def test_cell_resumes_from_partial_checkpoint(self, tmp_path):
+        cache = DocumentCache(tmp_path / "cache", document_type="test_doc")
+        partial = tmp_path / "cache" / "partial"
+        payload = {"generations": 6, "seed": 4}
+        kwargs = dict(
+            worker=_optimizer_cell_worker,
+            parse=lambda document: document,
+            keys=["cell-key"],
+            cache=cache,
+            checkpoint_dir=partial,
+            checkpoint_every=1,
+        )
+        # Attempt 1 dies after 2 generations; the partial checkpoint survives.
+        with pytest.raises(RuntimeError, match="simulated"):
+            execute_grid([dict(payload, crash_after=2)], **kwargs)
+        assert list(partial.glob("cell-key-*.json"))
+        # Attempt 2 completes — running only the remaining generations.
+        outcomes = execute_grid([payload], **kwargs)
+        resumed = outcomes[0].document
+        assert resumed["value"] == 6 - 2  # only generations 2..5 re-ran
+        # Partials are cleaned up once the cell's result is safely cached.
+        assert not list(partial.glob("cell-key-*.json"))
+        # The resumed document matches an uninterrupted cold run bit for bit.
+        uninterrupted = execute_grid(
+            [payload],
+            worker=_optimizer_cell_worker,
+            parse=lambda document: document,
+        )[0].document
+        uninterrupted["value"] = resumed["value"]  # attempt-local by design
+        assert json.dumps(resumed, sort_keys=True) == json.dumps(
+            uninterrupted, sort_keys=True
+        )
+
+    def test_checkpointing_does_not_change_results(self, tmp_path):
+        payload = {"generations": 4, "seed": 9}
+        plain = execute_grid(
+            [payload], worker=_optimizer_cell_worker, parse=lambda d: d
+        )[0].document
+        checkpointed = execute_grid(
+            [payload],
+            worker=_optimizer_cell_worker,
+            parse=lambda d: d,
+            checkpoint_dir=tmp_path / "partial",
+            checkpoint_every=1,
+        )[0].document
+        assert json.dumps(plain, sort_keys=True) == json.dumps(
+            checkpointed, sort_keys=True
+        )

@@ -428,3 +428,106 @@ class TestArgumentErrors:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+#: Tiny shared workload for checkpoint/resume CLI tests.
+FAST_OPTIMIZE = [
+    "optimize", "--distribution", "normal", "--categories", "6",
+    "--records", "2000", "--population", "8", "--seed", "3",
+]
+
+
+class TestOptimizeCheckpointResume:
+    def test_interrupted_resume_is_byte_identical(self, tmp_path, capsys):
+        full = tmp_path / "full.json"
+        resumed = tmp_path / "resumed.json"
+        checkpoint = tmp_path / "ck.json"
+        assert main(FAST_OPTIMIZE + ["--generations", "6", "--output", str(full)]) == 0
+        # "Interrupted" run: a smaller budget with per-generation checkpoints.
+        assert main(
+            FAST_OPTIMIZE
+            + ["--generations", "2", "--checkpoint", str(checkpoint),
+               "--checkpoint-every", "1"]
+        ) == 0
+        assert checkpoint.is_file()
+        # Resume extends the budget; the result must match the uninterrupted
+        # run byte for byte.
+        assert main(
+            ["optimize", "--resume", str(checkpoint), "--generations", "6",
+             "--output", str(resumed)]
+        ) == 0
+        assert full.read_bytes() == resumed.read_bytes()
+
+    def test_resume_of_finished_run_replays_result(self, tmp_path, capsys):
+        full = tmp_path / "full.json"
+        replay = tmp_path / "replay.json"
+        checkpoint = tmp_path / "ck.json"
+        assert main(
+            FAST_OPTIMIZE
+            + ["--generations", "4", "--checkpoint", str(checkpoint),
+               "--checkpoint-every", "1", "--output", str(full)]
+        ) == 0
+        # Without a new budget, resume reproduces the finished run's result
+        # from the checkpoint without recomputing any generations.
+        assert main(
+            ["optimize", "--resume", str(checkpoint), "--output", str(replay)]
+        ) == 0
+        assert full.read_bytes() == replay.read_bytes()
+
+    def test_deadline_flag_accepts_run(self, tmp_path, capsys):
+        output = tmp_path / "out.json"
+        assert main(
+            FAST_OPTIMIZE
+            + ["--generations", "3", "--deadline", "9999", "--output", str(output)]
+        ) == 0
+        assert output.is_file()
+
+    def test_checkpoint_every_requires_destination(self, capsys):
+        assert main(FAST_OPTIMIZE + ["--generations", "2", "--checkpoint-every", "1"]) == 2
+        assert "--checkpoint-every" in capsys.readouterr().err
+
+    def test_checkpoint_every_must_be_positive(self, tmp_path, capsys):
+        assert main(
+            FAST_OPTIMIZE
+            + ["--generations", "2", "--checkpoint", str(tmp_path / "c.json"),
+               "--checkpoint-every", "0"]
+        ) == 2
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_deadline_must_be_positive(self, capsys):
+        assert main(FAST_OPTIMIZE + ["--generations", "2", "--deadline", "0"]) == 2
+        assert "--deadline" in capsys.readouterr().err
+
+    def test_resume_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["optimize", "--resume", str(tmp_path / "absent.json")]) == 2
+        assert "cannot read --resume" in capsys.readouterr().err
+
+    def test_resume_non_checkpoint_document_is_usage_error(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"type": "rr_matrix", "format_version": 1}))
+        assert main(["optimize", "--resume", str(bogus)]) == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+
+class TestRunCheckpointFlags:
+    FAST_RUN = ["run", "fig4a", "--generations", "4", "--population", "8"]
+
+    def test_checkpoint_dir_cleaned_after_success(self, tmp_path, capsys):
+        parts = tmp_path / "parts"
+        code = main(self.FAST_RUN + ["--checkpoint-dir", str(parts)])
+        assert code in (0, 1)  # reproduction verdict is budget-dependent
+        assert not list(parts.glob("*.json"))
+
+    def test_resume_alias_sets_checkpoint_dir(self, tmp_path, capsys):
+        parts = tmp_path / "parts"
+        code = main(self.FAST_RUN + ["--resume", str(parts)])
+        assert code in (0, 1)
+        assert parts.is_dir()
+
+    def test_checkpoint_every_requires_directory(self, capsys):
+        assert main(self.FAST_RUN + ["--checkpoint-every", "2"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_deadline_flag(self, capsys):
+        code = main(self.FAST_RUN + ["--deadline", "9999"])
+        assert code in (0, 1)

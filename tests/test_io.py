@@ -160,3 +160,57 @@ class TestExperimentResultSerialization:
     def test_rejects_wrong_type(self):
         with pytest.raises(ValidationError):
             experiment_result_from_dict({"type": "rr_matrix", "format_version": 1})
+
+
+class TestCheckpointDocuments:
+    def _checkpoint(self, tmp_path):
+        from repro.data.synthetic import normal_distribution
+
+        optimizer = OptRROptimizer(
+            normal_distribution(6),
+            3000,
+            OptRRConfig(
+                population_size=8, archive_size=8, n_generations=3, delta=0.85, seed=2
+            ),
+        )
+        path = tmp_path / "ck.json"
+        optimizer.run(checkpoint_path=str(path), checkpoint_every=1)
+        return path
+
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.io import load_checkpoint, save_checkpoint
+
+        path = self._checkpoint(tmp_path)
+        document = load_checkpoint(path)
+        assert document["type"] == "checkpoint"
+        assert document["algorithm"] == "optrr"
+        assert document["checkpoint_version"] == 1
+        copy_path = save_checkpoint(document, tmp_path / "copy.json")
+        assert load_checkpoint(copy_path) == document
+
+    def test_load_rejects_other_document_types(self, tmp_path):
+        from repro.io import load_checkpoint
+
+        path = tmp_path / "notes.json"
+        path.write_text(json.dumps({"type": "rr_matrix", "format_version": 1}))
+        with pytest.raises(ValidationError, match="checkpoint"):
+            load_checkpoint(path)
+
+    def test_load_rejects_unknown_format_version(self, tmp_path):
+        from repro.io import load_checkpoint
+
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"type": "checkpoint", "format_version": 99}))
+        with pytest.raises(ValidationError, match="format version"):
+            load_checkpoint(path)
+
+    def test_save_rejects_non_checkpoint_documents(self, tmp_path):
+        from repro.io import save_checkpoint
+
+        with pytest.raises(ValidationError, match="checkpoint"):
+            save_checkpoint({"type": "experiment_result", "format_version": 1},
+                            tmp_path / "x.json")
+
+    def test_writes_are_atomic_no_temp_residue(self, tmp_path):
+        self._checkpoint(tmp_path)
+        assert not list(tmp_path.glob(".tmp-checkpoint-*"))
