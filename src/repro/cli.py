@@ -32,7 +32,7 @@ from repro.analysis.aggregate import format_aggregate_table
 from repro.analysis.front import ParetoFront
 from repro.analysis.plot import ascii_scatter
 from repro.analysis.report import format_front_table, format_pipeline_table
-from repro.core.config import OptRRConfig
+from repro.core.config import DEFAULT_LOW_FIDELITY_FRACTION, OptRRConfig
 from repro.core.driver import DEFAULT_CHECKPOINT_EVERY, checkpoint_scope
 from repro.core.optimizer import OptRROptimizer
 from repro.core.search_space import log10_rr_matrix_combinations
@@ -164,6 +164,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget for this invocation's work, combined with "
              "the generation budget (time spent before a --resume does not "
              "count against it)",
+    )
+    optimize_parser.add_argument(
+        "--fidelity", action="store_true",
+        help="enable multi-fidelity scheduling: offspring are evaluated at a "
+             "reduced fidelity first and only the most promising fraction is "
+             f"promoted to a full evaluation (default low fraction "
+             f"{DEFAULT_LOW_FIDELITY_FRACTION})",
+    )
+    optimize_parser.add_argument(
+        "--low-fidelity-fraction", type=float, default=None, metavar="F",
+        help="record fraction for low-fidelity evaluations, in (0, 1] "
+             "(implies --fidelity; 1.0 disables fidelity scheduling)",
     )
 
     pipeline_parser = subparsers.add_parser(
@@ -357,6 +369,10 @@ def _command_optimize(args: argparse.Namespace) -> int:
         return _fail("--checkpoint-every needs --checkpoint or --resume")
     if args.deadline is not None and args.deadline <= 0:
         return _fail("--deadline must be positive")
+    if args.low_fidelity_fraction is not None and not (
+        0.0 < args.low_fidelity_fraction <= 1.0
+    ):
+        return _fail("--low-fidelity-fraction must lie in (0, 1]")
     output_path = Path(args.output) if args.output is not None else None
     if output_path is not None and not output_path.parent.is_dir():
         return _fail(f"--output directory {str(output_path.parent)!r} does not exist")
@@ -390,11 +406,18 @@ def _command_optimize(args: argparse.Namespace) -> int:
 def _fresh_optimization(args: argparse.Namespace):
     """Run `optrr optimize` from scratch (optionally writing checkpoints)."""
     prior = _resolve_distribution(args.distribution, args.categories)
+    if args.low_fidelity_fraction is not None:
+        low_fidelity_fraction = args.low_fidelity_fraction
+    elif args.fidelity:
+        low_fidelity_fraction = DEFAULT_LOW_FIDELITY_FRACTION
+    else:
+        low_fidelity_fraction = 1.0
     config = OptRRConfig(
         population_size=args.population,
         archive_size=args.population,
         n_generations=args.generations if args.generations is not None else 200,
         delta=args.delta,
+        low_fidelity_fraction=low_fidelity_fraction,
         seed=args.seed,
     )
     return OptRROptimizer(prior, args.records, config).run(

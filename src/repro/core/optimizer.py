@@ -49,6 +49,7 @@ from repro.core.problem import SINGULAR_UTILITY_PENALTY, RRMatrixProblem
 from repro.core.result import OptimizationResult
 from repro.data.distribution import CategoricalDistribution
 from repro.emoo.density import pairwise_distances
+from repro.emoo.fidelity import FidelitySchedule, FidelityScheduler
 from repro.emoo.fitness import spea2_fitness_from_arrays
 from repro.emoo.individual import Individual
 from repro.emoo.population import Population
@@ -252,7 +253,9 @@ class OptRROptimizer:
             population, lambda index: problem.population_individual(population, index)
         )
 
-    def _baseline_seed_population(self, rng: np.random.Generator) -> Population | None:
+    def _baseline_seed_population(
+        self, rng: np.random.Generator, *, fidelity: float | None = None
+    ) -> Population | None:
         """Warm-start population: Warner-family matrices (bound-repaired when
         a ``delta`` is configured), evaluated like any other candidates.
 
@@ -274,7 +277,9 @@ class OptRROptimizer:
         stack = np.stack(
             [warner_matrix(n, float(retention)).probabilities for retention in retention_values]
         )
-        return self._problem.evaluate_population(self._problem.repair_stack(stack))
+        return self._problem.evaluate_population(
+            self._problem.repair_stack(stack), fidelity=fidelity
+        )
 
     def _make_offspring(
         self, archive: Population, rng: np.random.Generator, generation: int
@@ -360,6 +365,18 @@ class _OptRRSteppable(SteppableOptimization):
         self.population: Population | None = None
         self.archive: Population | None = None
         self.optimal_set: OptimalSet | None = None
+        # Multi-fidelity scheduling (repro.emoo.fidelity): only constructed
+        # when the configuration actually reduces the fidelity, so disabled
+        # runs keep the exact single-fidelity code path and checkpoint layout.
+        self.fidelity: FidelityScheduler | None = None
+        if optimizer.config.low_fidelity_fraction < 1.0:
+            self.fidelity = FidelityScheduler(
+                FidelitySchedule(
+                    low_fidelity=optimizer.config.low_fidelity_fraction,
+                    promotion_fraction=optimizer.config.promotion_fraction,
+                    min_fidelity=optimizer.config.min_fidelity,
+                )
+            )
         # The workload identity is immutable; cache its serializations so
         # per-generation checkpoints don't recompute them.
         self._fingerprint: str | None = None
@@ -368,8 +385,14 @@ class _OptRRSteppable(SteppableOptimization):
     def setup(self, rng: np.random.Generator) -> None:
         optimizer = self._optimizer
         config = self._config
-        population = self._problem.initial_population_soa(config.population_size, rng)
-        baseline = optimizer._baseline_seed_population(rng)
+        # In fidelity-scheduled runs every population carries a ``fidelity``
+        # metadata column (Population.concat requires identical key sets);
+        # the setup populations are evaluated at full fidelity.
+        setup_fidelity = 1.0 if self.fidelity is not None else None
+        population = self._problem.initial_population_soa(
+            config.population_size, rng, fidelity=setup_fidelity
+        )
+        baseline = optimizer._baseline_seed_population(rng, fidelity=setup_fidelity)
         optimal_set = OptimalSet(config.optimal_set_size)
         optimizer._offer_population(optimal_set, population)
         # The full baseline sweep goes straight into Ω (O(1) per matrix); only
@@ -410,12 +433,21 @@ class _OptRRSteppable(SteppableOptimization):
         # 3-5. Mating selection, crossover, mutation, bound repair — the
         # whole offspring generation moves as one (B, n, n) stack.
         offspring_stack = optimizer._make_offspring(archive, rng, generation)
-        population = problem.evaluate_population(offspring_stack)
+        if self.fidelity is None:
+            population = problem.evaluate_population(offspring_stack)
+        else:
+            population = self.fidelity.evaluate_stack(problem, offspring_stack)
         # 6. Update the three sets: Ω absorbs the new generation, and the
         # archive/population are refreshed with Ω's best matrices for the
-        # privacy levels they already occupy.
-        updates = optimizer._offer_population(optimal_set, population)
-        updates += optimizer._offer_population(optimal_set, archive)
+        # privacy levels they already occupy.  Low-fidelity rows carry
+        # *upper-bound* utilities and are never offered to Ω — only
+        # full-fidelity evaluations may enter the long-term store.
+        updates = optimizer._offer_population(
+            optimal_set, self._full_fidelity_rows(population)
+        )
+        updates += optimizer._offer_population(
+            optimal_set, self._full_fidelity_rows(archive)
+        )
         optimizer._refresh_from_optimal_set(population, optimal_set)
         optimizer._refresh_from_optimal_set(archive, optimal_set)
         self.population = population
@@ -427,7 +459,22 @@ class _OptRRSteppable(SteppableOptimization):
             archive_updates=updates,
             front_objectives=front,
             n_evaluations=problem.n_evaluations,
+            n_full_evaluations=problem.n_full_evaluations,
+            n_low_evaluations=problem.n_low_evaluations,
         )
+
+    @staticmethod
+    def _full_fidelity_rows(population: Population) -> Population:
+        """Restrict to rows evaluated at full fidelity (the whole population
+        when no fidelity column exists, i.e. fidelity scheduling is off)."""
+        column = population.metadata.get("fidelity")
+        if column is None:
+            return population
+        return population.take(np.flatnonzero(column >= 1.0))
+
+    def notify_progress(self, elapsed_seconds: float, deadline_seconds: float | None) -> None:
+        if self.fidelity is not None:
+            self.fidelity.adapt(elapsed_seconds, deadline_seconds)
 
     def finish(self, generation: int) -> OptimizationResult:
         front = self.optimal_set.pareto_members()
@@ -480,7 +527,7 @@ class _OptRRSteppable(SteppableOptimization):
                 "n_records": self._optimizer.n_records,
                 "config": asdict(self._config),
             }
-        return {
+        document = {
             "setup": self._setup_document,
             "problem": self._problem.counters_document(),
             "population": population_to_document(self.population),
@@ -489,9 +536,16 @@ class _OptRRSteppable(SteppableOptimization):
             ),
             "optimal_set": self.optimal_set.state_document(),
         }
+        # Only fidelity-scheduled runs carry scheduler state.
+        if self.fidelity is not None:
+            document["fidelity"] = self.fidelity.state_document()
+        return document
 
     def restore_state(self, document: dict) -> None:
         self._problem.restore_counters(document["problem"])
+        fidelity_state = document.get("fidelity")
+        if self.fidelity is not None and fidelity_state is not None:
+            self.fidelity.restore_state(fidelity_state)
         self.population = population_from_document(document["population"])
         archive_document = document.get("archive")
         self.archive = (

@@ -76,6 +76,7 @@ class RRMatrixProblem(Problem):
         check_in_unit_interval(self.mutation_scale, "mutation_scale", inclusive_low=False)
         self._evaluator = MatrixEvaluator(self.prior, self.n_records, self.delta)
         self._n_evaluations = 0
+        self._n_low_evaluations = 0
         self._counter = 0
 
     # -- bookkeeping -----------------------------------------------------------
@@ -90,6 +91,17 @@ class RRMatrixProblem(Problem):
         return self._n_evaluations
 
     @property
+    def n_low_evaluations(self) -> int:
+        """How many of those evaluations ran at reduced fidelity (< 1)."""
+        return self._n_low_evaluations
+
+    @property
+    def n_full_evaluations(self) -> int:
+        """How many evaluations ran at full fidelity (every evaluation is
+        either low- or full-fidelity, so this is the complement)."""
+        return self._n_evaluations - self._n_low_evaluations
+
+    @property
     def evaluator(self) -> MatrixEvaluator:
         """The underlying privacy/utility evaluator."""
         return self._evaluator
@@ -99,13 +111,18 @@ class RRMatrixProblem(Problem):
 
         ``counter`` drives the random-genome kind cycling, so restoring it
         keeps any post-resume genome creation on the same cycle; the
-        evaluation count makes resumed results report the true cumulative
-        cost."""
-        return {"n_evaluations": self._n_evaluations, "counter": self._counter}
+        evaluation counts make resumed results report the true cumulative
+        cost (split into full- and low-fidelity work)."""
+        return {
+            "n_evaluations": self._n_evaluations,
+            "n_low_evaluations": self._n_low_evaluations,
+            "counter": self._counter,
+        }
 
     def restore_counters(self, document: dict[str, int]) -> None:
         """Restore the counters captured by :meth:`counters_document`."""
         self._n_evaluations = int(document.get("n_evaluations", 0))
+        self._n_low_evaluations = int(document.get("n_low_evaluations", 0))
         self._counter = int(document.get("counter", 0))
 
     # -- Problem interface -------------------------------------------------------
@@ -177,13 +194,25 @@ class RRMatrixProblem(Problem):
         ``(-privacy, utility)`` (thin wrapper over the batch engine)."""
         return self.evaluate_genomes([genome])[0]
 
-    def evaluate_genomes(self, genomes: Sequence[RRMatrix]) -> list[Individual]:
+    def evaluate_genomes(
+        self,
+        genomes: Sequence[RRMatrix],
+        *,
+        fidelity: float | np.ndarray | None = None,
+    ) -> list[Individual]:
         """Batch-evaluate a list of matrices into individuals."""
         if not genomes:
             return []
-        return self.evaluate_stack(stack_matrices(list(genomes)), genomes=list(genomes))
+        return self.evaluate_stack(
+            stack_matrices(list(genomes)), genomes=list(genomes), fidelity=fidelity
+        )
 
-    def evaluate_population(self, stack: np.ndarray) -> Population:
+    def evaluate_population(
+        self,
+        stack: np.ndarray,
+        *,
+        fidelity: float | np.ndarray | None = None,
+    ) -> Population:
         """Evaluate a ``(B, n, n)`` stack into a structure-of-arrays population.
 
         This is the optimizer hot path: one call computes privacy, utility,
@@ -193,9 +222,23 @@ class RRMatrixProblem(Problem):
         happens inside the generation loop.  ``Individual`` views (with
         validated :class:`RRMatrix` genomes) are materialised only at the
         result boundary via :meth:`population_individual`.
+
+        ``fidelity`` (a scalar or per-row column in ``(0, 1]``) evaluates the
+        stack at reduced fidelity (see :meth:`MatrixEvaluator.evaluate_batch`)
+        and adds a ``fidelity`` metadata column; ``None`` keeps the exact
+        full-fidelity path and metadata layout unchanged.
         """
-        evaluation = self._evaluator.evaluate_batch(stack)
+        evaluation = self._evaluator.evaluate_batch(stack, fidelity=fidelity)
         self._n_evaluations += len(evaluation)
+        metadata = {
+            "privacy": np.asarray(evaluation.privacy, dtype=np.float64),
+            "utility": np.asarray(evaluation.utility, dtype=np.float64),
+            "max_posterior": np.asarray(evaluation.max_posterior, dtype=np.float64),
+            "invertible": np.asarray(evaluation.invertible, dtype=bool),
+        }
+        if evaluation.fidelity is not None:
+            self._n_low_evaluations += int(np.count_nonzero(evaluation.fidelity < 1.0))
+            metadata["fidelity"] = np.asarray(evaluation.fidelity, dtype=np.float64)
         finite_utility = np.where(
             np.isfinite(evaluation.utility), evaluation.utility, SINGULAR_UTILITY_PENALTY
         )
@@ -204,12 +247,7 @@ class RRMatrixProblem(Problem):
             genomes=np.asarray(stack, dtype=np.float64),
             objectives=objectives,
             feasible=np.asarray(evaluation.feasible, dtype=bool),
-            metadata={
-                "privacy": np.asarray(evaluation.privacy, dtype=np.float64),
-                "utility": np.asarray(evaluation.utility, dtype=np.float64),
-                "max_posterior": np.asarray(evaluation.max_posterior, dtype=np.float64),
-                "invertible": np.asarray(evaluation.invertible, dtype=bool),
-            },
+            metadata=metadata,
         )
 
     def population_individual(self, population: Population, index: int) -> Individual:
@@ -223,7 +261,13 @@ class RRMatrixProblem(Problem):
         """Materialise a whole population as ``Individual`` views."""
         return population.to_individuals(genome_builder=RRMatrix.from_validated)
 
-    def initial_population_soa(self, size: int, rng: np.random.Generator) -> Population:
+    def initial_population_soa(
+        self,
+        size: int,
+        rng: np.random.Generator,
+        *,
+        fidelity: float | np.ndarray | None = None,
+    ) -> Population:
         """Create, batch-repair and batch-evaluate ``size`` random genomes
         into a structure-of-arrays population.
 
@@ -240,13 +284,14 @@ class RRMatrixProblem(Problem):
                 kind=self._counter,
                 diagonal_bias=self.diagonal_bias,
             ).probabilities
-        return self.evaluate_population(self.repair_stack(raw))
+        return self.evaluate_population(self.repair_stack(raw), fidelity=fidelity)
 
     def evaluate_stack(
         self,
         stack: np.ndarray,
         *,
         genomes: list[RRMatrix] | None = None,
+        fidelity: float | np.ndarray | None = None,
     ) -> list[Individual]:
         """Evaluate a ``(B, n, n)`` stack of matrices into individuals.
 
@@ -254,22 +299,25 @@ class RRMatrixProblem(Problem):
         ``genomes`` can supply pre-built :class:`RRMatrix` objects for the
         individuals; otherwise the stack is unstacked.
         """
-        population = self.evaluate_population(stack)
+        population = self.evaluate_population(stack, fidelity=fidelity)
         if genomes is None:
             genomes = unstack_matrices(stack)
         individuals = []
         for index in range(population.size):
+            metadata = {
+                "privacy": float(population.metadata["privacy"][index]),
+                "utility": float(population.metadata["utility"][index]),
+                "max_posterior": float(population.metadata["max_posterior"][index]),
+                "invertible": bool(population.metadata["invertible"][index]),
+            }
+            if "fidelity" in population.metadata:
+                metadata["fidelity"] = float(population.metadata["fidelity"][index])
             individuals.append(
                 Individual(
                     genome=genomes[index],
                     objectives=population.objectives[index],
                     feasible=bool(population.feasible[index]),
-                    metadata={
-                        "privacy": float(population.metadata["privacy"][index]),
-                        "utility": float(population.metadata["utility"][index]),
-                        "max_posterior": float(population.metadata["max_posterior"][index]),
-                        "invertible": bool(population.metadata["invertible"][index]),
-                    },
+                    metadata=metadata,
                 )
             )
         return individuals

@@ -47,6 +47,7 @@ from repro.emoo.driver import (
     SteppableOptimization,
     checkpoint_scope,
 )
+from repro.emoo.fidelity import FidelitySchedule, FidelityScheduler
 from repro.emoo.spea2 import SPEA2, SPEA2Settings
 from repro.emoo.nsga2 import NSGA2, NSGA2Settings, crowding_distances_from_objectives
 from repro.emoo.weighted_sum import WeightedSumGA, WeightedSumSettings
@@ -59,6 +60,8 @@ from repro.emoo.indicators import (
 
 __all__ = [
     "Deadline",
+    "FidelitySchedule",
+    "FidelityScheduler",
     "GenerationSnapshot",
     "GenerationState",
     "HypervolumeStagnation",

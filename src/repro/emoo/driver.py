@@ -83,11 +83,17 @@ class StepOutcome:
     n_evaluations:
         Cumulative objective evaluations since the start of the run
         (including any resumed-from segments).
+    n_full_evaluations / n_low_evaluations:
+        Cumulative full- and reduced-fidelity split of ``n_evaluations``.
+        Algorithms without a fidelity axis leave both ``None`` and the
+        driver reports every evaluation as full fidelity.
     """
 
     archive_updates: int
     front_objectives: np.ndarray
     n_evaluations: int
+    n_full_evaluations: int | None = None
+    n_low_evaluations: int | None = None
 
 
 @dataclass(frozen=True)
@@ -116,6 +122,9 @@ class GenerationSnapshot:
     stopped:
         Whether the termination criterion fired after this generation (this
         is the last snapshot of the run when True).
+    n_full_evaluations / n_low_evaluations:
+        Cumulative full- and reduced-fidelity split of ``n_evaluations``
+        (``n_low_evaluations`` stays 0 for runs without a fidelity axis).
     """
 
     generation: int
@@ -126,6 +135,8 @@ class GenerationSnapshot:
     n_evaluations: int
     elapsed_seconds: float
     stopped: bool
+    n_full_evaluations: int = 0
+    n_low_evaluations: int = 0
 
 
 class SteppableOptimization(ABC):
@@ -158,6 +169,12 @@ class SteppableOptimization(ABC):
     def elite_individuals(self) -> list[Individual]:
         """The current elite set as ``Individual`` views (for callbacks)."""
         return []
+
+    def notify_progress(self, elapsed_seconds: float, deadline_seconds: float | None) -> None:
+        """Called by the driver before every :meth:`step` with the wall time
+        consumed by the *current* segment and the smallest active wall-clock
+        deadline budget (None without one).  Fidelity-scheduling algorithms
+        adapt their low-fidelity budget here (default: nothing)."""
 
     def hypervolume_reference(self) -> tuple[float, float] | None:
         """Reference point for snapshot hypervolumes (None disables them)."""
@@ -217,6 +234,15 @@ class OptimizationDriver:
         self._started = False
         self._finished = False
         self._elapsed = 0.0
+        # Smallest wall-clock deadline inside the termination composition,
+        # surfaced to the algorithm via notify_progress(); the anchor marks
+        # where the current segment started (non-zero after a resume), so
+        # the budget always applies to this invocation's new work — the
+        # same semantics as Deadline itself.
+        from repro.emoo.termination import termination_deadline_seconds
+
+        self._deadline_seconds = termination_deadline_seconds(termination)
+        self._elapsed_anchor = 0.0
 
     # -- checkpointing --------------------------------------------------------
     @property
@@ -306,6 +332,7 @@ class OptimizationDriver:
         self.optimization.restore_state(document["state"])
         _restore_rng_state(self.rng, document["rng_state"])
         self._elapsed = elapsed
+        self._elapsed_anchor = elapsed
         # Wall-clock criteria anchor on the already-consumed time so a
         # deadline budgets this invocation's new work.
         self.termination.notify_resumed(elapsed)
@@ -334,6 +361,9 @@ class OptimizationDriver:
             self._started = True
         mark = time.perf_counter()
         while True:
+            self.optimization.notify_progress(
+                self._elapsed - self._elapsed_anchor, self._deadline_seconds
+            )
             outcome = self.optimization.step(self.rng, self.generation)
             mark = self._accumulate(mark)
             state = GenerationState(
@@ -357,6 +387,16 @@ class OptimizationDriver:
                 n_evaluations=outcome.n_evaluations,
                 elapsed_seconds=self._elapsed,
                 stopped=stop,
+                n_full_evaluations=(
+                    outcome.n_full_evaluations
+                    if outcome.n_full_evaluations is not None
+                    else outcome.n_evaluations
+                ),
+                n_low_evaluations=(
+                    outcome.n_low_evaluations
+                    if outcome.n_low_evaluations is not None
+                    else 0
+                ),
             )
             mark = self._accumulate(mark)
             if stop:

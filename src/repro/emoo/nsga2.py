@@ -24,6 +24,7 @@ from repro.emoo.driver import (
     population_to_document,
     workload_fingerprint,
 )
+from repro.emoo.fidelity import FidelitySchedule, FidelityScheduler
 from repro.emoo.individual import Individual, objectives_array
 from repro.emoo.population import Population
 from repro.emoo.problem import Problem
@@ -109,12 +110,19 @@ def _crowded_better(first: Individual, second: Individual) -> bool:
 
 @dataclass
 class NSGA2:
-    """The NSGA-II evolutionary multi-objective optimizer."""
+    """The NSGA-II evolutionary multi-objective optimizer.
+
+    ``fidelity`` optionally enables multi-fidelity offspring evaluation with
+    promotion of the top fraction (see :mod:`repro.emoo.fidelity`); it
+    requires a problem whose ``evaluate_genomes`` supports the ``fidelity``
+    keyword, and ``None`` keeps the exact single-fidelity path.
+    """
 
     problem: Problem
     settings: NSGA2Settings = field(default_factory=NSGA2Settings)
     termination: TerminationCriterion = field(default_factory=lambda: MaxGenerations(100))
     seed: SeedLike = None
+    fidelity: FidelitySchedule | None = None
 
     def run(self, on_generation: GenerationCallback | None = None) -> NSGA2Result:
         """Run the optimization and return the result.
@@ -269,6 +277,9 @@ class _NSGA2Steppable(SteppableOptimization):
         self.ranks: np.ndarray | None = None
         self.crowding: np.ndarray | None = None
         self.n_evaluations = 0
+        self.fidelity: FidelityScheduler | None = (
+            FidelityScheduler(algorithm.fidelity) if algorithm.fidelity is not None else None
+        )
 
     def setup(self, rng: np.random.Generator) -> None:
         algorithm = self._algorithm
@@ -286,19 +297,34 @@ class _NSGA2Steppable(SteppableOptimization):
         offspring_genomes = algorithm._make_offspring(
             self.population, self.ranks, self.crowding, rng
         )
-        offspring = Population.from_individuals(
-            algorithm.problem.evaluate_genomes(offspring_genomes)
-        )
-        self.n_evaluations += offspring.size
+        if self.fidelity is None:
+            individuals = algorithm.problem.evaluate_genomes(offspring_genomes)
+            self.n_evaluations += len(individuals)
+        else:
+            spent = self.fidelity.n_low_evaluations + self.fidelity.n_full_evaluations
+            individuals = self.fidelity.evaluate_individuals(
+                algorithm.problem, offspring_genomes
+            )
+            self.n_evaluations += (
+                self.fidelity.n_low_evaluations + self.fidelity.n_full_evaluations - spent
+            )
+        offspring = Population.from_individuals(individuals)
         union = Population.concat(self.population, offspring)
         self.population, self.ranks, self.crowding = algorithm._select_next_generation(
             union
         )
+        n_low = self.fidelity.n_low_evaluations if self.fidelity is not None else 0
         return StepOutcome(
             archive_updates=1,
             front_objectives=self.population.objectives[self.ranks == 0],
             n_evaluations=self.n_evaluations,
+            n_full_evaluations=self.n_evaluations - n_low,
+            n_low_evaluations=n_low,
         )
+
+    def notify_progress(self, elapsed_seconds: float, deadline_seconds: float | None) -> None:
+        if self.fidelity is not None:
+            self.fidelity.adapt(elapsed_seconds, deadline_seconds)
 
     def finish(self, generation: int) -> NSGA2Result:
         individuals = self.elite_individuals()
@@ -321,21 +347,27 @@ class _NSGA2Steppable(SteppableOptimization):
     def setup_fingerprint(self) -> str:
         from dataclasses import asdict
 
-        return workload_fingerprint(
-            {
-                "algorithm": self.algorithm_name,
-                "problem": self._algorithm.problem.fingerprint_document(),
-                "settings": asdict(self._algorithm.settings),
-            }
-        )
+        payload = {
+            "algorithm": self.algorithm_name,
+            "problem": self._algorithm.problem.fingerprint_document(),
+            "settings": asdict(self._algorithm.settings),
+        }
+        # Keyed only when scheduling is on, so fingerprints of plain runs
+        # stay identical to pre-fidelity checkpoints.
+        if self._algorithm.fidelity is not None:
+            payload["fidelity"] = asdict(self._algorithm.fidelity)
+        return workload_fingerprint(payload)
 
     def state_document(self) -> dict:
-        return {
+        document = {
             "population": population_to_document(self.population, self._algorithm.problem),
             "ranks": encode_array(self.ranks),
             "crowding": encode_array(self.crowding),
             "n_evaluations": self.n_evaluations,
         }
+        if self.fidelity is not None:
+            document["fidelity"] = self.fidelity.state_document()
+        return document
 
     def restore_state(self, document: dict) -> None:
         self.population = population_from_document(
@@ -344,3 +376,6 @@ class _NSGA2Steppable(SteppableOptimization):
         self.ranks = decode_array(document["ranks"])
         self.crowding = decode_array(document["crowding"])
         self.n_evaluations = int(document["n_evaluations"])
+        fidelity_state = document.get("fidelity")
+        if self.fidelity is not None and fidelity_state is not None:
+            self.fidelity.restore_state(fidelity_state)

@@ -49,7 +49,12 @@ class Problem(ABC):
         """Create and evaluate ``size`` random individuals."""
         return [self.evaluate(self.random_genome(rng)) for _ in range(size)]
 
-    def evaluate_genomes(self, genomes: Sequence[Any]) -> list[Individual]:
+    def evaluate_genomes(
+        self,
+        genomes: Sequence[Any],
+        *,
+        fidelity: float | np.ndarray | None = None,
+    ) -> list[Individual]:
         """Evaluate a batch of genomes.
 
         The default loops over :meth:`evaluate`; problems with a vectorized
@@ -57,7 +62,16 @@ class Problem(ABC):
         override this with a true batch implementation, which is how the
         generic SPEA2/NSGA-II engines pick up the batch path without knowing
         anything about genome internals.
+
+        ``fidelity`` requests reduced-fidelity evaluation (a scalar or
+        per-genome column in ``(0, 1]``).  The base class has no cheap
+        approximation to offer, so any non-``None`` value is an error;
+        problems that support a fidelity axis override this method.
         """
+        if fidelity is not None:
+            raise OptimizationError(
+                f"{type(self).__name__} does not support reduced-fidelity evaluation"
+            )
         return [self.evaluate(genome) for genome in genomes]
 
     def repair_genomes(self, genomes: Sequence[Any], rng: np.random.Generator) -> list[Any]:

@@ -27,6 +27,7 @@ from repro.emoo.driver import (
     population_to_document,
     workload_fingerprint,
 )
+from repro.emoo.fidelity import FidelitySchedule, FidelityScheduler
 from repro.emoo.fitness import spea2_fitness_from_arrays
 from repro.emoo.individual import Individual
 from repro.emoo.population import Population
@@ -116,12 +117,19 @@ class SPEA2:
         Stopping rule; defaults to 100 generations.
     seed:
         Random seed or generator.
+    fidelity:
+        Optional multi-fidelity schedule (see :mod:`repro.emoo.fidelity`):
+        offspring are evaluated at reduced fidelity and only the top fraction
+        is promoted to a full re-evaluation.  Requires a problem whose
+        ``evaluate_genomes`` supports the ``fidelity`` keyword; ``None``
+        keeps the exact single-fidelity path.
     """
 
     problem: Problem
     settings: SPEA2Settings = field(default_factory=SPEA2Settings)
     termination: TerminationCriterion = field(default_factory=lambda: MaxGenerations(100))
     seed: SeedLike = None
+    fidelity: FidelitySchedule | None = None
 
     def run(self, on_generation: GenerationCallback | None = None) -> SPEA2Result:
         """Run the optimization and return the result.
@@ -231,6 +239,9 @@ class _SPEA2Steppable(SteppableOptimization):
         self.population: Population | None = None
         self.archive: Population | None = None
         self.n_evaluations = 0
+        self.fidelity: FidelityScheduler | None = (
+            FidelityScheduler(algorithm.fidelity) if algorithm.fidelity is not None else None
+        )
 
     def setup(self, rng: np.random.Generator) -> None:
         algorithm = self._algorithm
@@ -252,18 +263,33 @@ class _SPEA2Steppable(SteppableOptimization):
         )
         self.archive = algorithm._environmental_selection(union, generation)
         offspring_genomes = algorithm._make_offspring(self.archive, rng, generation)
-        self.population = Population.from_individuals(
-            algorithm.problem.evaluate_genomes(offspring_genomes)
-        )
-        self.n_evaluations += self.population.size
+        if self.fidelity is None:
+            individuals = algorithm.problem.evaluate_genomes(offspring_genomes)
+            self.n_evaluations += len(individuals)
+        else:
+            spent = self.fidelity.n_low_evaluations + self.fidelity.n_full_evaluations
+            individuals = self.fidelity.evaluate_individuals(
+                algorithm.problem, offspring_genomes
+            )
+            self.n_evaluations += (
+                self.fidelity.n_low_evaluations + self.fidelity.n_full_evaluations - spent
+            )
+        self.population = Population.from_individuals(individuals)
         front = self.archive.objectives[self.archive.feasible]
         if front.shape[0] == 0:
             front = self.archive.objectives
+        n_low = self.fidelity.n_low_evaluations if self.fidelity is not None else 0
         return StepOutcome(
             archive_updates=1,
             front_objectives=front,
             n_evaluations=self.n_evaluations,
+            n_full_evaluations=self.n_evaluations - n_low,
+            n_low_evaluations=n_low,
         )
+
+    def notify_progress(self, elapsed_seconds: float, deadline_seconds: float | None) -> None:
+        if self.fidelity is not None:
+            self.fidelity.adapt(elapsed_seconds, deadline_seconds)
 
     def finish(self, generation: int) -> SPEA2Result:
         # Final selection over the last population and archive.
@@ -285,17 +311,20 @@ class _SPEA2Steppable(SteppableOptimization):
     def setup_fingerprint(self) -> str:
         from dataclasses import asdict
 
-        return workload_fingerprint(
-            {
-                "algorithm": self.algorithm_name,
-                "problem": self._algorithm.problem.fingerprint_document(),
-                "settings": asdict(self._algorithm.settings),
-            }
-        )
+        payload = {
+            "algorithm": self.algorithm_name,
+            "problem": self._algorithm.problem.fingerprint_document(),
+            "settings": asdict(self._algorithm.settings),
+        }
+        # Keyed only when scheduling is on, so fingerprints of plain runs
+        # stay identical to pre-fidelity checkpoints.
+        if self._algorithm.fidelity is not None:
+            payload["fidelity"] = asdict(self._algorithm.fidelity)
+        return workload_fingerprint(payload)
 
     def state_document(self) -> dict:
         problem = self._algorithm.problem
-        return {
+        document = {
             "population": population_to_document(self.population, problem),
             "archive": (
                 population_to_document(self.archive, problem)
@@ -304,6 +333,9 @@ class _SPEA2Steppable(SteppableOptimization):
             ),
             "n_evaluations": self.n_evaluations,
         }
+        if self.fidelity is not None:
+            document["fidelity"] = self.fidelity.state_document()
+        return document
 
     def restore_state(self, document: dict) -> None:
         problem = self._algorithm.problem
@@ -315,3 +347,6 @@ class _SPEA2Steppable(SteppableOptimization):
             else None
         )
         self.n_evaluations = int(document["n_evaluations"])
+        fidelity_state = document.get("fidelity")
+        if self.fidelity is not None and fidelity_state is not None:
+            self.fidelity.restore_state(fidelity_state)

@@ -247,6 +247,27 @@ class HypervolumeStagnation(TerminationCriterion):
         )
 
 
+def termination_deadline_seconds(criterion: "TerminationCriterion | None") -> float | None:
+    """Smallest :class:`Deadline` budget inside ``criterion``, or ``None``.
+
+    Walks :class:`AnyCriterion` compositions recursively; the fidelity
+    scheduler uses this to learn the wall-clock budget it should adapt
+    against without the driver having to know the criterion structure.
+    """
+    if criterion is None:
+        return None
+    if isinstance(criterion, Deadline):
+        return float(criterion.seconds)
+    if isinstance(criterion, AnyCriterion):
+        budgets = [
+            seconds
+            for seconds in (termination_deadline_seconds(child) for child in criterion.criteria)
+            if seconds is not None
+        ]
+        return min(budgets) if budgets else None
+    return None
+
+
 @dataclass
 class AnyCriterion(TerminationCriterion):
     """Stop when any of the wrapped criteria fires."""

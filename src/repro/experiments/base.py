@@ -18,7 +18,7 @@ from repro.exceptions import ExperimentError
 
 #: Override keys accepted by the front-comparison experiments (the common
 #: case); specs with a different workload declare their own tuple.
-DEFAULT_ACCEPTED_OVERRIDES = ("n_generations", "population_size")
+DEFAULT_ACCEPTED_OVERRIDES = ("n_generations", "population_size", "low_fidelity_fraction")
 
 
 def environment_override_defaults() -> dict[str, object]:
@@ -33,6 +33,7 @@ def environment_override_defaults() -> dict[str, object]:
     return {
         "n_generations": default_generations(),
         "population_size": default_population(),
+        "low_fidelity_fraction": default_low_fidelity_fraction(),
     }
 
 #: Environment variable that overrides the number of optimizer generations in
@@ -41,6 +42,10 @@ GENERATIONS_ENV_VAR = "REPRO_GENERATIONS"
 
 #: Environment variable that overrides the optimizer population/archive size.
 POPULATION_ENV_VAR = "REPRO_POPULATION"
+
+#: Environment variable that overrides the optimizer's low-fidelity fraction
+#: (1.0, the default, keeps the exact single-fidelity evaluation path).
+LOW_FIDELITY_ENV_VAR = "REPRO_LOW_FIDELITY"
 
 
 def default_generations(fallback: int = 400) -> int:
@@ -62,6 +67,17 @@ def default_population(fallback: int = 40) -> int:
     value = int(raw)
     if value <= 1:
         raise ValueError(f"{POPULATION_ENV_VAR} must be at least 2, got {value}")
+    return value
+
+
+def default_low_fidelity_fraction(fallback: float = 1.0) -> float:
+    """Low-fidelity fraction to use, honouring the environment override."""
+    raw = os.environ.get(LOW_FIDELITY_ENV_VAR)
+    if raw is None:
+        return fallback
+    value = float(raw)
+    if not 0.0 < value <= 1.0:
+        raise ValueError(f"{LOW_FIDELITY_ENV_VAR} must lie in (0, 1], got {value}")
     return value
 
 

@@ -19,7 +19,12 @@ from repro.core.config import OptRRConfig
 from repro.core.optimizer import OptRROptimizer
 from repro.core.result import OptimizationResult
 from repro.data.distribution import CategoricalDistribution
-from repro.experiments.base import ExperimentResult, default_generations, default_population
+from repro.experiments.base import (
+    ExperimentResult,
+    default_generations,
+    default_low_fidelity_fraction,
+    default_population,
+)
 from repro.metrics.evaluation import MatrixEvaluator
 from repro.rr.family import WarnerFamily
 
@@ -62,6 +67,7 @@ def optimize_front(
     seed: int = 0,
     n_generations: int | None = None,
     population_size: int | None = None,
+    low_fidelity_fraction: float | None = None,
 ) -> tuple[ParetoFront, OptimizationResult]:
     """Run OptRR on the workload and return its Pareto front."""
     config = OptRRConfig(
@@ -69,6 +75,11 @@ def optimize_front(
         archive_size=population_size or default_population(),
         n_generations=n_generations or default_generations(),
         delta=delta,
+        low_fidelity_fraction=(
+            low_fidelity_fraction
+            if low_fidelity_fraction is not None
+            else default_low_fidelity_fraction()
+        ),
         seed=seed,
     )
     optimizer = OptRROptimizer(prior, n_records, config)
@@ -95,6 +106,7 @@ def run_front_comparison(
     seed: int = 0,
     n_generations: int | None = None,
     population_size: int | None = None,
+    low_fidelity_fraction: float | None = None,
 ) -> ExperimentResult:
     """Run one figure-style comparison of OptRR against the Warner baseline."""
     optrr, optimization = optimize_front(
@@ -104,6 +116,7 @@ def run_front_comparison(
         seed=seed,
         n_generations=n_generations,
         population_size=population_size,
+        low_fidelity_fraction=low_fidelity_fraction,
     )
     warner = warner_front(workload.prior, workload.n_records, workload.delta)
     comparison = compare_fronts(optrr, warner)

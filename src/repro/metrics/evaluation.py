@@ -16,6 +16,19 @@ Two evaluation paths are provided:
   one implementation.  :meth:`MatrixEvaluator.evaluate_scalar` preserves the
   original per-matrix reference implementation for equivalence tests and
   benchmarks.
+
+The batch path additionally supports a *fidelity* axis (multi-fidelity
+optimization): ``evaluate_batch`` accepts a per-individual fidelity column in
+``(0, 1]`` realised as record subsampling.  Theorem 6's MSE is exactly
+proportional to ``1/N``, so evaluating a matrix against the subsampled record
+count ``n_eff = max(1, rint(fidelity * N))`` amounts to scaling the full
+utility by ``N / n_eff`` — an exact, monotonically decreasing upper bound on
+the full-fidelity utility that converges to it as ``fidelity -> 1`` (and is
+bit-identical at ``fidelity = 1``).  Privacy is prior-only and stays exact;
+the worst-case posterior is computed through the cheap row-max/row-sum bound,
+which equals the full posterior-tensor maximum bit for bit (division by a
+positive row sum is monotone, so the maximum commutes with it) without
+materialising the ``(B, n, n)`` posterior tensor.
 """
 
 from __future__ import annotations
@@ -37,6 +50,30 @@ from repro.metrics.utility import utility_score, utility_score_batch
 from repro.rr.matrix import RRMatrix, as_matrix_stack
 from repro.utils.linalg import batched_safe_inverses
 from repro.utils.validation import check_in_unit_interval, check_positive_int
+
+
+def resolve_fidelity_column(
+    fidelity: float | np.ndarray | None, batch_size: int
+) -> np.ndarray | None:
+    """Normalise a fidelity argument into a validated ``(B,)`` column.
+
+    ``None`` stays ``None`` (full-fidelity evaluation, the untouched exact
+    path); a scalar broadcasts over the batch; an array must already have
+    shape ``(batch_size,)``.  Every value must lie in ``(0, 1]``.
+    """
+    if fidelity is None:
+        return None
+    column = np.asarray(fidelity, dtype=np.float64)
+    if column.ndim == 0:
+        column = np.full(batch_size, float(column))
+    if column.shape != (batch_size,):
+        raise ValidationError(
+            f"fidelity column shape {column.shape} does not match the batch "
+            f"size ({batch_size},)"
+        )
+    if not np.all(np.isfinite(column)) or np.any(column <= 0.0) or np.any(column > 1.0):
+        raise ValidationError("fidelity values must lie in (0, 1]")
+    return column
 
 
 @dataclass(frozen=True)
@@ -96,6 +133,11 @@ class BatchEvaluation:
         ``(B,)`` boolean mask of delta-feasible, invertible matrices.
     invertible:
         ``(B,)`` boolean mask of numerically invertible matrices.
+    fidelity:
+        ``(B,)`` fidelity column the batch was evaluated at, or ``None`` for
+        a plain full-fidelity evaluation.  Utilities of rows with fidelity
+        below 1 are the exact subsampled-record values (upper bounds on the
+        full-fidelity utility).
     """
 
     privacy: np.ndarray
@@ -103,6 +145,7 @@ class BatchEvaluation:
     max_posterior: np.ndarray
     feasible: np.ndarray
     invertible: np.ndarray
+    fidelity: np.ndarray | None = None
 
     def __len__(self) -> int:
         return int(self.privacy.size)
@@ -165,7 +208,16 @@ class MatrixEvaluator:
         """Domain size of the evaluated matrices."""
         return self.prior.n_categories
 
-    def evaluate_batch(self, matrices: np.ndarray | list[RRMatrix]) -> BatchEvaluation:
+    def effective_record_counts(self, fidelity_column: np.ndarray) -> np.ndarray:
+        """Subsampled record counts ``n_eff = max(1, rint(fidelity * N))``."""
+        return np.maximum(1.0, np.rint(fidelity_column * self.n_records))
+
+    def evaluate_batch(
+        self,
+        matrices: np.ndarray | list[RRMatrix],
+        *,
+        fidelity: float | np.ndarray | None = None,
+    ) -> BatchEvaluation:
         """Evaluate a whole stack of matrices with batched linear algebra.
 
         Parameters
@@ -173,6 +225,15 @@ class MatrixEvaluator:
         matrices:
             A ``(B, n, n)`` array of column-stochastic matrices, or a list of
             :class:`RRMatrix` objects (stacked internally).
+        fidelity:
+            Optional per-individual evaluation fidelity in ``(0, 1]`` (a
+            scalar broadcasts over the batch).  Fidelity ``f`` evaluates the
+            Theorem-6 utility against ``n_eff = max(1, rint(f * N))`` records
+            instead of ``N`` — exactly the subsampled MSE, since the MSE is
+            proportional to ``1/N`` — and computes the worst-case posterior
+            through the cheap row-max/row-sum bound.  ``None`` (and a
+            fidelity of exactly 1) reproduce the full-fidelity evaluation
+            bit for bit.
 
         Returns
         -------
@@ -186,18 +247,36 @@ class MatrixEvaluator:
                 f"matrix stack domain {stack.shape[1:]} does not match the "
                 f"prior domain ({n}, {n})"
             )
+        fidelity_column = resolve_fidelity_column(fidelity, stack.shape[0])
         prior_vector = self.prior.probabilities
         # One joint tensor serves both the adversary accuracy (Eq. 8) and the
         # posterior maximum (Eq. 9).
         joint = joint_tensor(stack, prior_vector)
         privacy = 1.0 - joint.max(axis=2).sum(axis=1)
-        worst_posterior = posterior_from_joint(joint).max(axis=(1, 2))
+        if fidelity_column is None:
+            worst_posterior = posterior_from_joint(joint).max(axis=(1, 2))
+        else:
+            # Cheap posterior bound: max_y (max_x joint[y, x]) / sum_x
+            # joint[y, x].  Division by a positive row sum is monotone, so
+            # this equals the posterior-tensor maximum bit for bit while only
+            # touching (B, n) reductions; zero-probability reports contribute
+            # 0, matching the posterior_from_joint convention.
+            row_max = joint.max(axis=2)
+            row_sum = joint.sum(axis=2)
+            safe = np.where(row_sum > 0, row_sum, 1.0)
+            worst_posterior = np.where(row_sum > 0, row_max / safe, 0.0).max(axis=1)
         inverses, invertible = batched_safe_inverses(stack)
         utility = np.full(stack.shape[0], np.inf)
         if invertible.any():
             utility[invertible] = utility_score_batch(
                 stack[invertible], inverses[invertible], prior_vector, self.n_records
             )
+        if fidelity_column is not None:
+            # MSE is exactly proportional to 1/N (Theorem 6), so the
+            # subsampled utility is the full utility scaled by N / n_eff.
+            # At fidelity 1 the factor is exactly 1.0 and the product is
+            # bit-identical; infinite utilities stay infinite.
+            utility = utility * (float(self.n_records) / self.effective_record_counts(fidelity_column))
         feasible = invertible.copy()
         if self.delta is not None:
             feasible &= worst_posterior <= self.delta + BOUND_ATOL
@@ -207,6 +286,7 @@ class MatrixEvaluator:
             max_posterior=worst_posterior,
             feasible=feasible,
             invertible=invertible,
+            fidelity=fidelity_column,
         )
 
     def evaluate(self, matrix: RRMatrix) -> MatrixEvaluation:

@@ -1,0 +1,293 @@
+"""Tests for repro.emoo.fidelity (schedule, scheduler, promotion, adaptation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import _OptRRSteppable
+from repro.core.problem import RRMatrixProblem
+from repro.data.synthetic import normal_distribution
+from repro.emoo.fidelity import (
+    DEADLINE_FIDELITY_STEPS,
+    FidelitySchedule,
+    FidelityScheduler,
+)
+from repro.emoo.individual import Individual
+from repro.emoo.population import Population
+from repro.emoo.problem import Problem
+from repro.exceptions import OptimizationError
+
+
+def make_scheduler(low=0.2, promotion=0.25, floor=0.05) -> FidelityScheduler:
+    return FidelityScheduler(
+        FidelitySchedule(
+            low_fidelity=low, promotion_fraction=promotion, min_fidelity=floor
+        )
+    )
+
+
+class TestFidelitySchedule:
+    def test_accepts_interior_values(self):
+        schedule = FidelitySchedule(0.5, promotion_fraction=1.0, min_fidelity=1.0)
+        assert schedule.low_fidelity == 0.5
+
+    @pytest.mark.parametrize("low", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_low_fidelity_outside_open_interval(self, low):
+        with pytest.raises(OptimizationError):
+            FidelitySchedule(low)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.01])
+    def test_rejects_bad_promotion_fraction(self, fraction):
+        with pytest.raises(OptimizationError):
+            FidelitySchedule(0.2, promotion_fraction=fraction)
+
+    @pytest.mark.parametrize("floor", [0.0, -1.0, 1.1])
+    def test_rejects_bad_min_fidelity(self, floor):
+        with pytest.raises(OptimizationError):
+            FidelitySchedule(0.2, min_fidelity=floor)
+
+
+class TestPromotionCount:
+    def test_ceil_of_fraction(self):
+        scheduler = make_scheduler(promotion=0.25)
+        assert scheduler.promotion_count(40) == 10
+        assert scheduler.promotion_count(41) == 11
+
+    def test_always_promotes_at_least_one(self):
+        scheduler = make_scheduler(promotion=0.01)
+        assert scheduler.promotion_count(5) == 1
+
+    def test_capped_at_batch_size(self):
+        scheduler = make_scheduler(promotion=1.0)
+        assert scheduler.promotion_count(7) == 7
+
+    def test_empty_batch(self):
+        assert make_scheduler().promotion_count(0) == 0
+
+
+class TestPromoteIndices:
+    def test_full_batch_when_fraction_is_one(self):
+        scheduler = make_scheduler(promotion=1.0)
+        objectives = np.array([[0.0, 1.0], [1.0, 0.0], [2.0, 2.0]])
+        np.testing.assert_array_equal(
+            scheduler.promote_indices(objectives), np.arange(3)
+        )
+
+    def test_prefers_lower_pareto_ranks(self):
+        # Two non-dominated rows and two clearly dominated ones: promoting
+        # half the batch must pick exactly the rank-0 rows.
+        scheduler = make_scheduler(promotion=0.5)
+        objectives = np.array([[5.0, 5.0], [0.0, 1.0], [1.0, 0.0], [6.0, 6.0]])
+        np.testing.assert_array_equal(
+            scheduler.promote_indices(objectives), np.array([1, 2])
+        )
+
+    def test_infeasible_rows_rank_last(self):
+        scheduler = make_scheduler(promotion=0.5)
+        objectives = np.array([[0.0, 0.0], [0.0, 0.1], [1.0, 1.0], [1.0, 1.1]])
+        feasible = np.array([False, False, True, True])
+        promoted = scheduler.promote_indices(objectives, feasible)
+        np.testing.assert_array_equal(promoted, np.array([2, 3]))
+
+    def test_deterministic_and_sorted(self):
+        scheduler = make_scheduler(promotion=0.3)
+        rng = np.random.default_rng(5)
+        objectives = rng.uniform(size=(20, 2))
+        first = scheduler.promote_indices(objectives)
+        second = scheduler.promote_indices(objectives)
+        np.testing.assert_array_equal(first, second)
+        assert np.all(np.diff(first) > 0)
+
+    def test_crowding_breaks_ties_within_a_front(self):
+        # A 3-point rank-0 front: the extremes carry infinite crowding
+        # distance, so promoting two rows must pick both extremes over the
+        # interior point.
+        scheduler = make_scheduler(promotion=0.5)
+        objectives = np.array([[0.0, 2.0], [1.0, 1.0], [2.0, 0.0], [5.0, 5.0]])
+        np.testing.assert_array_equal(
+            scheduler.promote_indices(objectives), np.array([0, 2])
+        )
+
+
+class TestDeadlineAdaptation:
+    def test_noop_without_deadline(self):
+        scheduler = make_scheduler(low=0.4)
+        scheduler.adapt(1e9, None)
+        assert scheduler.current_low_fidelity == 0.4
+
+    def test_steps_match_schedule_table(self):
+        for threshold, factor in DEADLINE_FIDELITY_STEPS:
+            scheduler = make_scheduler(low=0.4, floor=0.01)
+            scheduler.adapt(threshold * 100.0, 100.0)
+            assert scheduler.current_low_fidelity == pytest.approx(0.4 * factor)
+
+    def test_no_step_before_half_budget(self):
+        scheduler = make_scheduler(low=0.4)
+        scheduler.adapt(49.0, 100.0)
+        assert scheduler.current_low_fidelity == 0.4
+
+    def test_floor_is_respected(self):
+        scheduler = make_scheduler(low=0.4, floor=0.3)
+        scheduler.adapt(95.0, 100.0)
+        assert scheduler.current_low_fidelity == 0.3
+
+    def test_monotone_ratchet_never_goes_back_up(self):
+        scheduler = make_scheduler(low=0.4, floor=0.01)
+        scheduler.adapt(95.0, 100.0)
+        lowest = scheduler.current_low_fidelity
+        scheduler.adapt(10.0, 100.0)  # early progress again (e.g. clock skew)
+        assert scheduler.current_low_fidelity == lowest
+
+
+class TestStateRoundTrip:
+    def test_round_trip_restores_everything(self):
+        scheduler = make_scheduler(low=0.4)
+        scheduler.adapt(80.0, 100.0)
+        scheduler.n_low_evaluations = 123
+        scheduler.n_full_evaluations = 45
+        document = scheduler.state_document()
+        restored = make_scheduler(low=0.4)
+        restored.restore_state(document)
+        assert restored.current_low_fidelity == scheduler.current_low_fidelity
+        assert restored.n_low_evaluations == 123
+        assert restored.n_full_evaluations == 45
+
+    def test_state_document_is_json_compatible(self):
+        import json
+
+        document = make_scheduler().state_document()
+        assert json.loads(json.dumps(document)) == document
+
+    def test_restore_tolerates_missing_keys(self):
+        scheduler = make_scheduler(low=0.3)
+        scheduler.restore_state({})
+        assert scheduler.current_low_fidelity == 0.3
+        assert scheduler.n_low_evaluations == 0
+
+
+class TestEvaluateStack:
+    @pytest.fixture
+    def problem(self) -> RRMatrixProblem:
+        return RRMatrixProblem(normal_distribution(6), 5000, delta=0.8)
+
+    def test_promoted_rows_match_full_fidelity_evaluation(self, problem):
+        rng = np.random.default_rng(2)
+        stack = np.stack(
+            [problem.random_genome(rng).probabilities for _ in range(12)]
+        )
+        scheduler = make_scheduler(low=0.25, promotion=0.25)
+        population = scheduler.evaluate_stack(problem, stack)
+        reference = problem.evaluate_population(stack, fidelity=1.0)
+        fidelity = population.metadata["fidelity"]
+        promoted = np.flatnonzero(fidelity >= 1.0)
+        assert promoted.size == scheduler.promotion_count(12)
+        np.testing.assert_array_equal(
+            population.objectives[promoted], reference.objectives[promoted]
+        )
+        # Non-promoted rows keep the low-fidelity upper bound: utility
+        # (objective 1) at least the full-fidelity value, privacy exact.
+        rest = np.flatnonzero(fidelity < 1.0)
+        np.testing.assert_array_equal(fidelity[rest], 0.25)
+        assert np.all(
+            population.objectives[rest, 1] >= reference.objectives[rest, 1]
+        )
+        np.testing.assert_array_equal(
+            population.objectives[rest, 0], reference.objectives[rest, 0]
+        )
+
+    def test_counters_track_both_passes(self, problem):
+        rng = np.random.default_rng(3)
+        stack = np.stack(
+            [problem.random_genome(rng).probabilities for _ in range(8)]
+        )
+        scheduler = make_scheduler(low=0.5, promotion=0.25)
+        scheduler.evaluate_stack(problem, stack)
+        assert scheduler.n_low_evaluations == 8
+        assert scheduler.n_full_evaluations == 2
+        assert problem.n_low_evaluations == 8
+        assert problem.n_full_evaluations == 2
+
+
+class FidelitySphereProblem(Problem):
+    """Generic-problem fidelity stub: objective noise shrinks as f -> 1."""
+
+    n_objectives = 2
+
+    def random_genome(self, rng):
+        return float(rng.uniform(0.0, 1.0))
+
+    def evaluate(self, genome):
+        x = float(genome)
+        return Individual(
+            genome=x, objectives=np.array([x**2, (x - 1.0) ** 2]), feasible=True
+        )
+
+    def evaluate_genomes(self, genomes, *, fidelity=None):
+        scale = 1.0 if fidelity is None else 1.0 / float(fidelity)
+        individuals = []
+        for genome in genomes:
+            individual = self.evaluate(genome)
+            individuals.append(
+                Individual(
+                    genome=individual.genome,
+                    objectives=individual.objectives * scale,
+                    feasible=True,
+                )
+            )
+        return individuals
+
+    def crossover(self, first, second, rng):
+        return first, second
+
+    def mutate(self, genome, rng):
+        return genome
+
+    def repair(self, genome, rng):
+        return genome
+
+
+class TestEvaluateIndividuals:
+    def test_promoted_slots_carry_full_fidelity_objectives(self):
+        problem = FidelitySphereProblem()
+        genomes = [0.1, 0.5, 0.9, 0.3]
+        scheduler = make_scheduler(low=0.5, promotion=0.5)
+        individuals = scheduler.evaluate_individuals(problem, genomes)
+        assert len(individuals) == 4
+        exact = {g: problem.evaluate(g).objectives for g in genomes}
+        n_exact = sum(
+            1
+            for individual in individuals
+            if np.array_equal(individual.objectives, exact[individual.genome])
+        )
+        assert n_exact == scheduler.promotion_count(4)
+        assert scheduler.n_low_evaluations == 4
+        assert scheduler.n_full_evaluations == 2
+
+    def test_generic_problem_without_fidelity_support_raises(self, sphere_problem):
+        scheduler = make_scheduler()
+        with pytest.raises(OptimizationError, match="reduced-fidelity"):
+            scheduler.evaluate_individuals(sphere_problem, [0.2, 0.8])
+
+
+class TestFullFidelityRowFilter:
+    def test_population_without_fidelity_column_passes_through(self):
+        population = Population(
+            genomes=np.zeros((3, 2, 2)),
+            objectives=np.zeros((3, 2)),
+            feasible=np.ones(3, dtype=bool),
+        )
+        assert _OptRRSteppable._full_fidelity_rows(population) is population
+
+    def test_low_fidelity_rows_are_filtered_out(self):
+        population = Population(
+            genomes=np.zeros((4, 2, 2)),
+            objectives=np.arange(8.0).reshape(4, 2),
+            feasible=np.ones(4, dtype=bool),
+            metadata={"fidelity": np.array([1.0, 0.2, 1.0, 0.5])},
+        )
+        filtered = _OptRRSteppable._full_fidelity_rows(population)
+        assert filtered.size == 2
+        np.testing.assert_array_equal(
+            filtered.objectives, population.objectives[[0, 2]]
+        )

@@ -14,6 +14,7 @@ from repro.emoo.termination import (
     HypervolumeStagnation,
     MaxGenerations,
     StagnationTermination,
+    termination_deadline_seconds,
 )
 from repro.exceptions import OptimizationError
 
@@ -217,3 +218,23 @@ class TestAnyCriterion:
     def test_requires_criteria(self):
         with pytest.raises(OptimizationError):
             AnyCriterion(())
+
+
+class TestTerminationDeadlineSeconds:
+    def test_none_criterion(self):
+        assert termination_deadline_seconds(None) is None
+
+    def test_plain_deadline(self):
+        assert termination_deadline_seconds(Deadline(42.0)) == 42.0
+
+    def test_non_deadline_criteria_have_no_budget(self):
+        assert termination_deadline_seconds(MaxGenerations(10)) is None
+        assert termination_deadline_seconds(StagnationTermination(3)) is None
+
+    def test_combined_takes_the_tightest_deadline(self):
+        combined = MaxGenerations(10) | Deadline(30.0) | Deadline(12.0)
+        assert termination_deadline_seconds(combined) == 12.0
+
+    def test_combined_without_deadline(self):
+        combined = MaxGenerations(10) | StagnationTermination(3)
+        assert termination_deadline_seconds(combined) is None

@@ -41,7 +41,13 @@ class TestPlanCampaign:
     def test_overrides_filtered_per_experiment(self):
         spec = plan_campaign(["fig4a", "fact1"], [0], FAST)
         by_experiment = {task.experiment_id: task for task in spec.tasks()}
-        assert dict(by_experiment["fig4a"].overrides) == FAST
+        # Unset budget keys the experiment accepts are materialized from the
+        # environment-aware defaults so the cache key records the budget the
+        # task actually ran under (here: the default low-fidelity fraction).
+        assert dict(by_experiment["fig4a"].overrides) == {
+            **FAST,
+            "low_fidelity_fraction": 1.0,
+        }
         assert by_experiment["fact1"].overrides == ()
 
     def test_override_unknown_everywhere_rejected(self):

@@ -79,7 +79,11 @@ class TestOverrideValidation:
     def test_front_comparison_specs_accept_budget_overrides(self):
         for experiment_id in ("fig4a", "fig5a", "fig5d"):
             spec = get_experiment(experiment_id)
-            assert set(spec.accepted_overrides) == {"n_generations", "population_size"}
+            assert set(spec.accepted_overrides) == {
+                "n_generations",
+                "population_size",
+                "low_fidelity_fraction",
+            }
 
     def test_filter_overrides_keeps_only_accepted(self):
         spec = get_experiment("thm2")

@@ -103,3 +103,77 @@ class TestDeltaEpsilonTranslation:
     def test_infeasible_delta_rejected(self, small_prior):
         with pytest.raises(ValidationError, match="Theorem 5"):
             epsilon_for_delta_bound(small_prior.probabilities, 0.3)
+
+
+class TestLdpEpsilonEdgeCases:
+    def test_all_zero_report_row_is_ignored(self):
+        # A report that no input can produce contributes no likelihood ratio:
+        # the remaining rows determine epsilon.
+        matrix = RRMatrix(np.array([[1.0, 1.0], [0.0, 0.0]]))
+        assert ldp_epsilon(matrix) == pytest.approx(0.0)
+
+    def test_partially_zero_row_is_unbounded(self):
+        matrix = RRMatrix(np.array([[1.0, 0.5], [0.0, 0.5]]))
+        assert ldp_epsilon(matrix) == np.inf
+
+    def test_satisfies_ldp_honours_atol(self):
+        matrix = warner_matrix(4, 0.6)
+        epsilon = ldp_epsilon(matrix)
+        assert satisfies_ldp(matrix, epsilon - 1e-12)
+        assert not satisfies_ldp(matrix, epsilon - 1e-3, atol=1e-9)
+        assert satisfies_ldp(matrix, epsilon - 1e-3, atol=1e-2)
+
+    def test_identity_never_satisfies_finite_epsilon(self):
+        assert not satisfies_ldp(RRMatrix.identity(3), 100.0)
+
+
+class TestEpsilonOfKRRBranches:
+    def test_anti_diagonal_retention_below_uniform(self):
+        # retention below 1/n: the off-diagonal dominates, and epsilon
+        # measures the inverse ratio.
+        n, retention = 4, 0.1
+        off_diagonal = (1.0 - retention) / (n - 1)
+        expected = math.log(off_diagonal / retention)
+        assert epsilon_of_k_rr(n, retention) == pytest.approx(expected)
+
+    def test_uniform_retention_is_epsilon_zero(self):
+        assert epsilon_of_k_rr(5, 1.0 / 5.0) == pytest.approx(0.0)
+
+    def test_rejects_retention_outside_unit_interval(self):
+        with pytest.raises(ValidationError):
+            epsilon_of_k_rr(4, 1.5)
+
+    def test_k_rr_rejects_bad_domain_size(self):
+        with pytest.raises(ValidationError):
+            k_rr_matrix(0, 1.0)
+
+
+class TestTranslationValidation:
+    def test_max_posterior_rejects_negative_epsilon(self, small_prior):
+        with pytest.raises(ValidationError):
+            max_posterior_under_ldp(small_prior.probabilities, -0.1)
+
+    def test_max_posterior_rejects_non_probability_prior(self):
+        with pytest.raises(ValidationError):
+            max_posterior_under_ldp(np.array([0.5, 0.9]), 1.0)
+
+    def test_epsilon_for_delta_rejects_degenerate_delta(self, small_prior):
+        for delta in (0.0, 1.0):
+            with pytest.raises(ValidationError):
+                epsilon_for_delta_bound(small_prior.probabilities, delta)
+
+    def test_delta_at_prior_mode_needs_epsilon_zero(self, small_prior):
+        """delta == max P(X) is exactly what epsilon = 0 (total
+        randomization) guarantees — Theorem 5's boundary case."""
+        epsilon = epsilon_for_delta_bound(
+            small_prior.probabilities, small_prior.max_probability
+        )
+        assert epsilon == pytest.approx(0.0, abs=1e-12)
+
+    def test_monotone_in_delta(self, small_prior):
+        """A looser posterior bound affords a larger epsilon."""
+        deltas = np.linspace(small_prior.max_probability + 0.01, 0.95, 8)
+        epsilons = [
+            epsilon_for_delta_bound(small_prior.probabilities, float(d)) for d in deltas
+        ]
+        assert all(b > a for a, b in zip(epsilons, epsilons[1:]))

@@ -108,3 +108,82 @@ class TestJointFromMarginals:
     def test_requires_at_least_one(self):
         with pytest.raises(DataError):
             joint_distribution_from_marginals([])
+
+
+class TestConstructionEdgeCases:
+    def test_requires_at_least_one_attribute(self):
+        with pytest.raises(DataError, match="at least one"):
+            MultiDimensionalRR((), ())
+
+    def test_single_attribute_joint_is_the_matrix_itself(self):
+        matrix = warner_matrix(3, 0.7)
+        rr = MultiDimensionalRR(("a",), (matrix,))
+        assert rr.joint_domain_size == 3
+        np.testing.assert_allclose(rr.joint_matrix().probabilities, matrix.probabilities)
+
+
+class TestEncodeJointValidation:
+    def test_rejects_codes_outside_matrix_domain(self):
+        dataset = CategoricalDataset.from_columns(
+            {"a": [0, 2], "b": [0, 1]},
+            {"a": ("x", "y", "z"), "b": ("u", "v")},
+        )
+        rr = MultiDimensionalRR(("a", "b"), (RRMatrix.identity(2), RRMatrix.identity(2)))
+        with pytest.raises(DataError, match="outside the matrix domain"):
+            rr.encode_joint(dataset)
+
+
+class TestEstimationMethods:
+    def test_iterative_joint_estimation(self, two_attribute_dataset):
+        rr = MultiDimensionalRR(("a", "b"), (warner_matrix(3, 0.7), warner_matrix(2, 0.8)))
+        disguised = rr.randomize(two_attribute_dataset, seed=4)
+        estimate = rr.estimate_joint_distribution(disguised, method="iterative")
+        joint_codes = rr.encode_joint(two_attribute_dataset)
+        truth = np.bincount(joint_codes, minlength=6) / two_attribute_dataset.n_records
+        assert np.abs(estimate.probabilities - truth).max() < 0.05
+        # The iterative (EM) estimator always lands on a simplex point.
+        assert np.all(estimate.probabilities >= 0.0)
+        assert estimate.probabilities.sum() == pytest.approx(1.0)
+
+    def test_iterative_marginals(self, two_attribute_dataset):
+        rr = MultiDimensionalRR(("a", "b"), (warner_matrix(3, 0.7), warner_matrix(2, 0.8)))
+        disguised = rr.randomize(two_attribute_dataset, seed=5)
+        marginals = rr.estimate_marginals(disguised, method="iterative")
+        truth_b = two_attribute_dataset.distribution("b").probabilities
+        assert np.abs(marginals["b"].probabilities - truth_b).max() < 0.05
+
+    def test_marginals_unknown_method(self, two_attribute_dataset):
+        rr = MultiDimensionalRR(("a", "b"), (warner_matrix(3, 0.7), warner_matrix(2, 0.8)))
+        with pytest.raises(DataError, match="unknown estimation method"):
+            rr.estimate_marginals(two_attribute_dataset, method="magic")
+
+
+class TestRandomizeDeterminism:
+    def test_same_seed_same_disguise(self, two_attribute_dataset):
+        rr = MultiDimensionalRR(("a", "b"), (warner_matrix(3, 0.7), warner_matrix(2, 0.8)))
+        first = rr.randomize(two_attribute_dataset, seed=9)
+        second = rr.randomize(two_attribute_dataset, seed=9)
+        np.testing.assert_array_equal(first.column("a"), second.column("a"))
+        np.testing.assert_array_equal(first.column("b"), second.column("b"))
+
+    def test_untouched_attributes_survive(self, rng):
+        dataset = CategoricalDataset.from_columns(
+            {"a": rng.choice(3, size=100), "c": rng.choice(2, size=100)},
+            {"a": ("x", "y", "z"), "c": ("u", "v")},
+        )
+        rr = MultiDimensionalRR(("a",), (warner_matrix(3, 0.6),))
+        disguised = rr.randomize(dataset, seed=1)
+        np.testing.assert_array_equal(disguised.column("c"), dataset.column("c"))
+
+
+class TestJointFromMarginalsEdgeCases:
+    def test_single_marginal_is_returned_as_is(self):
+        marginal = np.array([0.3, 0.7])
+        np.testing.assert_allclose(joint_distribution_from_marginals([marginal]), marginal)
+
+    def test_three_way_product_sums_to_one(self):
+        joint = joint_distribution_from_marginals(
+            [np.array([0.5, 0.5]), np.array([0.2, 0.8]), np.array([0.9, 0.1])]
+        )
+        assert joint.shape == (8,)
+        assert joint.sum() == pytest.approx(1.0)

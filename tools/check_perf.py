@@ -35,12 +35,22 @@ def load_records(bench_dir: Path, name: str) -> dict[str, dict]:
     return {record["op"]: record for record in document.get("records", [])}
 
 
-def check(baseline_path: Path, bench_dir: Path) -> int:
+def check(baseline_path: Path, bench_dir: Path, only: list[str] | None = None) -> int:
     baseline = json.loads(baseline_path.read_text())
     failures: list[str] = []
     print(f"perf gate: thresholds from {baseline_path}, records from {bench_dir}/")
+    if only:
+        unknown = sorted(set(only) - set(baseline))
+        if unknown:
+            print(
+                f"perf gate FAILED: unknown --only section(s) {', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            return 1
     for name, thresholds in baseline.items():
         if name.startswith("_"):
+            continue
+        if only and name not in only:
             continue
         records = load_records(bench_dir, name)
         if not records:
@@ -87,8 +97,17 @@ def main() -> int:
         default=Path("."),
         help="directory holding the emitted BENCH_<name>.json files (default: .)",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="check only this baseline section (repeatable); other sections' "
+             "BENCH files need not exist — used by CI jobs that run a single "
+             "benchmark",
+    )
     arguments = parser.parse_args()
-    return check(arguments.baseline, arguments.bench_dir)
+    return check(arguments.baseline, arguments.bench_dir, only=arguments.only)
 
 
 if __name__ == "__main__":
