@@ -14,6 +14,7 @@ Usage examples::
         --seeds 0-4 --jobs 2 --output aggregate.json
     optrr compare-schemes --distribution normal --categories 10
     optrr search-space --categories 10 --grid 100
+    optrr lint --list-rules
 
 Exit codes: ``0`` success, ``1`` a paper claim diverged (``run``), ``2`` a
 usage error (unknown experiment, conflicting ``--categories``, rejected
@@ -250,6 +251,14 @@ def _build_parser() -> argparse.ArgumentParser:
     space_parser = subparsers.add_parser("search-space", help="print the Fact 1 search-space size")
     space_parser.add_argument("--categories", type=int, default=DEFAULT_CATEGORIES)
     space_parser.add_argument("--grid", type=int, default=100)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the repro-lint AST invariant analyzer (rules in docs/invariants.md)",
+    )
+    from repro.lintkit.runner import configure_parser
+
+    configure_parser(lint_parser)
 
     return parser
 
@@ -619,6 +628,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_compare_schemes(args)
     if args.command == "search-space":
         return _command_search_space(args)
+    if args.command == "lint":
+        from repro.lintkit.runner import run_from_args
+
+        return run_from_args(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

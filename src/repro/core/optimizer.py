@@ -528,7 +528,10 @@ class _OptRRSteppable(SteppableOptimization):
                 "config": asdict(self._config),
             }
         document = {
-            "setup": self._setup_document,
+            # "setup" is read by OptRROptimizer.from_checkpoint (which must
+            # rebuild the optimizer *before* a restore_state target exists),
+            # not by restore_state itself — an intentional asymmetry.
+            "setup": self._setup_document,  # repro-lint: allow[checkpoint-symmetry]
             "problem": self._problem.counters_document(),
             "population": population_to_document(self.population),
             "archive": (

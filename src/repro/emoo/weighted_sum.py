@@ -88,7 +88,7 @@ class WeightedSumGA:
         for weight in weights:
             population = [individual.copy() for individual in sample]
             for _ in range(settings.n_generations):
-                population.sort(key=lambda ind: _scalar_fitness(ind, weight, scales))
+                population.sort(key=lambda ind, _w=weight: _scalar_fitness(ind, _w, scales))
                 n_elite = max(1, int(settings.elite_fraction * settings.population_size))
                 next_genomes = [ind.genome for ind in population[:n_elite]]
                 while len(next_genomes) < settings.population_size:
@@ -103,7 +103,7 @@ class WeightedSumGA:
                     next_genomes.append(self.problem.repair(child, rng))
                 population = self.problem.evaluate_genomes(next_genomes)
                 n_evaluations += len(population)
-            population.sort(key=lambda ind: _scalar_fitness(ind, weight, scales))
+            population.sort(key=lambda ind, _w=weight: _scalar_fitness(ind, _w, scales))
             best_per_weight.append(population[0])
         front = non_dominated(best_per_weight)
         return WeightedSumResult(

@@ -1,0 +1,51 @@
+"""Per-line suppression pragmas.
+
+A violation anchored to a line carrying::
+
+    # repro-lint: allow[<rule>, <rule>, ...]
+
+is suppressed, where ``<rule>`` is a rule id (``RL003``), a rule name
+(``checkpoint-symmetry``), or ``*`` (any rule).  Pragmas are deliberately
+per-line — a justification comment should sit next to the code it excuses —
+and are parsed from real COMMENT tokens (via :mod:`tokenize`), so pragma
+text inside string literals can never accidentally suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+#: The pragma payload inside a comment token.
+PRAGMA_PATTERN = re.compile(r"#\s*repro-lint:\s*allow\[([^\]]*)\]")
+
+
+def parse_pragmas(text: str) -> dict[int, frozenset[str]]:
+    """Map line numbers to the rule tokens allowed on that line.
+
+    Files that :mod:`tokenize` rejects (it is stricter than ``ast`` about a
+    few encodings) fall back to a plain line scan; by then the runner has
+    already reported any syntax error through the parse step.
+    """
+    allowed: dict[int, frozenset[str]] = {}
+
+    def record(line: int, comment: str) -> None:
+        match = PRAGMA_PATTERN.search(comment)
+        if match is None:
+            return
+        tokens = frozenset(
+            token.strip() for token in match.group(1).split(",") if token.strip()
+        )
+        if tokens:
+            allowed[line] = allowed.get(line, frozenset()) | tokens
+
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                record(token.start[0], token.string)
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        for number, line in enumerate(text.splitlines(), start=1):
+            if "#" in line:
+                record(number, line[line.index("#"):])
+    return allowed

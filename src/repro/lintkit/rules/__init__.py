@@ -1,0 +1,25 @@
+"""The repro-lint rule set.
+
+Importing this package registers every rule; the ids are stable and
+documented in ``docs/invariants.md``:
+
+* RL001 ``rng-discipline`` — seeded-Generator-only randomness
+* RL002 ``wall-clock`` — no nondeterminism sources outside the timing sites
+* RL003 ``checkpoint-symmetry`` — state_document/restore_state pairing + keys
+* RL004 ``cache-key-completeness`` — overrides materialized into cache keys
+* RL005 ``ordering-hazard`` — no unordered iteration in optimizer hot paths
+"""
+
+from repro.lintkit.rules.cachekey import CacheKeyCompletenessRule
+from repro.lintkit.rules.checkpoint import CheckpointSymmetryRule
+from repro.lintkit.rules.ordering import OrderingHazardRule
+from repro.lintkit.rules.rng import RngDisciplineRule
+from repro.lintkit.rules.wallclock import WallClockRule
+
+__all__ = [
+    "CacheKeyCompletenessRule",
+    "CheckpointSymmetryRule",
+    "OrderingHazardRule",
+    "RngDisciplineRule",
+    "WallClockRule",
+]

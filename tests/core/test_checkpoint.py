@@ -23,7 +23,7 @@ from repro.core.problem import RRMatrixProblem
 from repro.data.synthetic import normal_distribution
 from repro.emoo.individual import Individual
 from repro.emoo.population import Population
-from repro.exceptions import ValidationError
+from repro.exceptions import OptimizationError, ValidationError
 from repro.rr.matrix import RRMatrix
 from repro.utils.arrays import decode_array, encode_array
 
@@ -208,7 +208,7 @@ class TestOptimalSetRoundTrip:
 
     def test_size_mismatch_is_rejected(self):
         document = OptimalSet(size=8).state_document()
-        with pytest.raises(Exception, match="slots"):
+        with pytest.raises(OptimizationError, match="slots"):
             OptimalSet(size=16).restore_state(document, RRMatrix.from_validated)
 
 

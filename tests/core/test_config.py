@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.core.config import OptRRConfig
@@ -15,15 +17,15 @@ class TestOptRRConfig:
         assert config.delta is None
 
     def test_rejects_bad_population(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             OptRRConfig(population_size=0)
         with pytest.raises(ValidationError):
             OptRRConfig(population_size=1)
 
     def test_rejects_bad_delta(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             OptRRConfig(delta=0.0)
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             OptRRConfig(delta=1.5)
 
     def test_rejects_bad_mutation_scale(self):
@@ -39,7 +41,7 @@ class TestOptRRConfig:
     def test_stagnation_patience_optional(self):
         assert OptRRConfig(stagnation_patience=None).stagnation_patience is None
         assert OptRRConfig(stagnation_patience=5).stagnation_patience == 5
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             OptRRConfig(stagnation_patience=0)
 
     def test_rejects_negative_baseline_seeds(self):
@@ -58,5 +60,5 @@ class TestOptRRConfig:
 
     def test_is_frozen(self):
         config = OptRRConfig()
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             config.n_generations = 5  # type: ignore[misc]

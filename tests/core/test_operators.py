@@ -137,7 +137,7 @@ class TestEnforcePrivacyBound:
         assert_is_rr_matrix(repaired)
 
     def test_rejects_bad_delta(self, small_prior):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             enforce_privacy_bound(RRMatrix.identity(4), small_prior.probabilities, 0.0)
 
     def test_repair_never_worsens_off_diagonal_worst_cell(self):

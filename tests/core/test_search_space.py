@@ -6,6 +6,8 @@ import math
 
 import pytest
 
+from repro.exceptions import ValidationError
+
 from repro.core.search_space import (
     brute_force_is_feasible,
     column_combinations,
@@ -39,9 +41,9 @@ class TestMatrixCombinations:
         assert log10_rr_matrix_combinations(3, 4) == pytest.approx(math.log10(exact))
 
     def test_rejects_bad_inputs(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             rr_matrix_combinations(0, 10)
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             rr_matrix_combinations(10, 0)
 
 

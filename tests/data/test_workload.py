@@ -12,7 +12,7 @@ from repro.data.workload import (
     build_workload,
     resolve_workload_prior,
 )
-from repro.exceptions import DataError
+from repro.exceptions import DataError, ValidationError
 
 
 class TestResolveWorkloadPrior:
@@ -76,5 +76,5 @@ class TestBuildWorkload:
         assert max(rates) - min(rates) < 0.05
 
     def test_rejects_nonpositive_records(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             build_workload("normal", 0, 0)

@@ -7,6 +7,7 @@ import pytest
 
 from repro.emoo.spea2 import SPEA2, SPEA2Settings
 from repro.emoo.termination import MaxGenerations
+from repro.exceptions import ValidationError
 
 
 class TestSettings:
@@ -15,9 +16,9 @@ class TestSettings:
         assert settings.population_size > 0
 
     def test_rejects_bad_rates(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             SPEA2Settings(crossover_rate=1.5)
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             SPEA2Settings(population_size=0)
 
 

@@ -16,7 +16,7 @@ from repro.emoo.termination import (
     StagnationTermination,
     termination_deadline_seconds,
 )
-from repro.exceptions import OptimizationError
+from repro.exceptions import OptimizationError, ValidationError
 
 
 class TestMaxGenerations:
@@ -27,7 +27,7 @@ class TestMaxGenerations:
         assert criterion.should_stop(GenerationState(2))
 
     def test_rejects_non_positive(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             MaxGenerations(0)
 
 

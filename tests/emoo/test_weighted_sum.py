@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.emoo.weighted_sum import WeightedSumGA, WeightedSumSettings
+from repro.exceptions import ValidationError
 
 
 class TestWeightedSumGA:
@@ -40,7 +41,7 @@ class TestWeightedSumGA:
         assert len(result.front) <= 7
 
     def test_settings_validation(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             WeightedSumSettings(n_weights=0)
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             WeightedSumSettings(elite_fraction=1.5)

@@ -1,0 +1,19 @@
+"""Shared fixtures for the repro-lint self-tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from lintkit_helpers import FIXTURES
+
+
+@pytest.fixture
+def bad_tree() -> Path:
+    return FIXTURES / "tree_bad"
+
+
+@pytest.fixture
+def good_tree() -> Path:
+    return FIXTURES / "tree_good"

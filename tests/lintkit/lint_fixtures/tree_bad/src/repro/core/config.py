@@ -1,0 +1,16 @@
+"""RL004 fixture: config fields that never reach the cache key."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OptRRConfig:
+    population_size: int = 40
+    n_generations: int = 300
+    seed: int | None = None
+    # Seeded violation: accepted as an override (see experiments/base.py)
+    # but never materialized into environment_override_defaults().
+    low_fidelity_fraction: float = 1.0
+    # Seeded violation: brand-new evaluation knob, neither materialized nor
+    # exempted — the PR-6 bug class.
+    smoothing_epsilon: float = 0.0

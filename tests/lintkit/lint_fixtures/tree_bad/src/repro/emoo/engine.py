@@ -1,0 +1,40 @@
+"""RL003/RL005 fixture: broken checkpoint codecs and order hazards."""
+
+
+class AsymmetricCodec:
+    """Writes a key resume never reads, reads a key never written."""
+
+    def __init__(self) -> None:
+        self.population = []
+        self.generation = 0
+        self.rng_state = b""
+
+    def state_document(self) -> dict:
+        return {
+            "population": list(self.population),
+            "generation": self.generation,
+            "rng_state": self.rng_state.hex(),  # seeded violation: never read back
+        }
+
+    def restore_state(self, document: dict) -> None:
+        self.population = list(document["population"])
+        self.generation = int(document["generation"])
+        self.extra = document.get("extra")  # seeded violation: never written
+
+
+class SaveOnly:
+    """Seeded violation: a codec with no restore half at all."""
+
+    def state_document(self) -> dict:
+        return {"weights": [1.0]}
+
+
+def drain(jobs, weights):
+    total = 0.0
+    for job in set(jobs):  # seeded violation: set iteration order
+        total += weights[job]
+    first = next(  # seeded violation below: first-match over a dict view
+        (weight for weight in weights.values() if weight > 0.5),
+        None,
+    )
+    return total, first

@@ -1,0 +1,24 @@
+"""RL004 fixture: the materialization registry misses an accepted key."""
+
+import os
+
+DEFAULT_ACCEPTED_OVERRIDES = ("n_generations", "population_size", "low_fidelity_fraction")
+
+
+def default_generations(fallback: int = 400) -> int:
+    raw = os.environ.get("REPRO_GENERATIONS")
+    return fallback if raw is None else int(raw)
+
+
+def default_population(fallback: int = 40) -> int:
+    raw = os.environ.get("REPRO_POPULATION")
+    return fallback if raw is None else int(raw)
+
+
+def environment_override_defaults() -> dict[str, object]:
+    # low_fidelity_fraction is missing: two runs under different
+    # REPRO_LOW_FIDELITY values would share a cache key.
+    return {
+        "n_generations": default_generations(),
+        "population_size": default_population(),
+    }

@@ -1,0 +1,16 @@
+"""RL001 fixture: every way randomness can escape the Generator channel."""
+
+import random  # seeded violation: stdlib random import
+
+import numpy as np
+
+
+def sample_badly(n):
+    np.random.seed(7)                  # seeded violation: legacy global seed
+    values = np.random.rand(n)         # seeded violation: legacy global draw
+    rng = np.random.default_rng()      # seeded violation: unseeded Generator
+    return values + rng.random(n) + random.random()
+
+
+def legacy_state():
+    return np.random.RandomState(0)    # seeded violation: legacy RandomState

@@ -1,0 +1,16 @@
+"""RL002 fixture: wall-clock and entropy reads outside the timing sites."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+from time import perf_counter  # seeded violation: smuggled clock read
+
+
+def stamp_result(result):
+    result["at"] = time.time()          # seeded violation: wall-clock read
+    result["day"] = datetime.now()      # seeded violation: wall-clock read
+    result["token"] = os.urandom(8)     # seeded violation: OS entropy
+    result["id"] = uuid.uuid4()         # seeded violation: random UUID
+    result["tick"] = perf_counter()
+    return result

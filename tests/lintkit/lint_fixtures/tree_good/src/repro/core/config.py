@@ -1,0 +1,11 @@
+"""RL004 fixture (fixed): every field materialized or exempt."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OptRRConfig:
+    population_size: int = 40
+    n_generations: int = 300
+    seed: int | None = None
+    low_fidelity_fraction: float = 1.0

@@ -1,0 +1,33 @@
+"""RL003/RL005 fixture (fixed): symmetric codec, sorted iteration."""
+
+
+class SymmetricCodec:
+    def __init__(self) -> None:
+        self.population = []
+        self.generation = 0
+        self.rng_state = b""
+
+    def state_document(self) -> dict:
+        document = {
+            "population": list(self.population),
+            "generation": self.generation,
+        }
+        if self.rng_state:
+            document["rng_state"] = self.rng_state.hex()
+        return document
+
+    def restore_state(self, document: dict) -> None:
+        self.population = list(document["population"])
+        self.generation = int(document["generation"])
+        self.rng_state = bytes.fromhex(document.get("rng_state", ""))
+
+
+def drain(jobs, weights):
+    total = 0.0
+    for job in sorted(set(jobs)):
+        total += weights[job]
+    first = next(
+        (weight for key in sorted(weights) for weight in [weights[key]] if weight > 0.5),
+        None,
+    )
+    return total, first

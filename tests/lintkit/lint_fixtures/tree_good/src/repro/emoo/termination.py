@@ -1,0 +1,12 @@
+"""RL002 allowlist fixture: this path IS the sanctioned timing site."""
+
+import time
+
+
+class Deadline:
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+        self._started = time.perf_counter()
+
+    def expired(self) -> bool:
+        return time.perf_counter() - self._started >= self.seconds

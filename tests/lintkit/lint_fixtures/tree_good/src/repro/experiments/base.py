@@ -1,0 +1,28 @@
+"""RL004 fixture (fixed): the registry materializes every accepted key."""
+
+import os
+
+DEFAULT_ACCEPTED_OVERRIDES = ("n_generations", "population_size", "low_fidelity_fraction")
+
+
+def default_generations(fallback: int = 400) -> int:
+    raw = os.environ.get("REPRO_GENERATIONS")
+    return fallback if raw is None else int(raw)
+
+
+def default_population(fallback: int = 40) -> int:
+    raw = os.environ.get("REPRO_POPULATION")
+    return fallback if raw is None else int(raw)
+
+
+def default_low_fidelity_fraction(fallback: float = 1.0) -> float:
+    raw = os.environ.get("REPRO_LOW_FIDELITY")
+    return fallback if raw is None else float(raw)
+
+
+def environment_override_defaults() -> dict[str, object]:
+    return {
+        "n_generations": default_generations(),
+        "population_size": default_population(),
+        "low_fidelity_fraction": default_low_fidelity_fraction(),
+    }

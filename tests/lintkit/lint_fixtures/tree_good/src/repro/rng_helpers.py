@@ -1,0 +1,15 @@
+"""RL001 fixture (fixed): all randomness through a seeded Generator."""
+
+import numpy as np
+
+
+def sample_well(n, rng: np.random.Generator):
+    return rng.random(n)
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def make_streamed_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence([seed, 17]))

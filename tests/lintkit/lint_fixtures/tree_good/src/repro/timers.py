@@ -1,0 +1,7 @@
+"""RL002 fixture (fixed): timestamps arrive as data from the caller."""
+
+
+def stamp_result(result, elapsed_seconds: float, run_token: str):
+    result["elapsed_seconds"] = float(elapsed_seconds)
+    result["token"] = run_token
+    return result

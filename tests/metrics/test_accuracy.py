@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import ValidationError
+from repro.exceptions import DataError, ValidationError
 from repro.metrics.accuracy import (
     OrdinalAccuracy,
     ZeroOneAccuracy,
@@ -67,7 +67,7 @@ class TestBayesEstimate:
         assert ordinal_choice != zero_one_choice
 
     def test_rejects_invalid_posterior(self):
-        with pytest.raises(Exception):
+        with pytest.raises(DataError):
             bayes_estimate(np.array([0.7, 0.7]))
 
 

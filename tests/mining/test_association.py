@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import DataError
+from repro.exceptions import DataError, ValidationError
 from repro.mining.association import AssociationMiner, ItemsetSupport
 
 
@@ -89,7 +89,7 @@ class TestRules:
         assert all(rule.confidence <= 1.0 for rule in rules)
 
     def test_validation_of_thresholds(self, survey_matrices):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             AssociationMiner(survey_matrices, min_support=1.5)
         with pytest.raises(DataError):
             AssociationMiner(survey_matrices, max_itemset_size=0)

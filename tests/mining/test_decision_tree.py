@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import DataError
+from repro.exceptions import DataError, ValidationError
 from repro.mining.decision_tree import DecisionTreeBuilder
 
 
@@ -79,7 +79,7 @@ class TestDecisionTreeBuilder:
         assert prediction == tree.predicted_class
 
     def test_parameter_validation(self, survey_matrices):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             DecisionTreeBuilder(survey_matrices, class_attribute="buys", max_depth=0)
         with pytest.raises(DataError):
             DecisionTreeBuilder(

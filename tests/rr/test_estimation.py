@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.data.synthetic import gamma_distribution
-from repro.exceptions import EstimationError
+from repro.exceptions import EstimationError, ValidationError
 from repro.rr.estimation import (
     InversionEstimator,
     IterativeEstimator,
@@ -129,7 +129,7 @@ class TestIterativeEstimator:
         np.testing.assert_allclose(estimate.probabilities, small_prior.probabilities, atol=1e-3)
 
     def test_invalid_settings(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             IterativeEstimator(max_iterations=0)
         with pytest.raises(EstimationError):
             IterativeEstimator(tolerance=0.0)

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.config import OptRRConfig
 from repro.core.optimizer import OptRROptimizer
-from repro.exceptions import ValidationError
+from repro.exceptions import RRMatrixError, ValidationError
 from repro.io import (
     dump_canonical_json,
     experiment_result_from_dict,
@@ -66,7 +66,7 @@ class TestMatrixSerialization:
     def test_rejects_corrupted_probabilities(self):
         document = matrix_to_dict(RRMatrix.identity(3))
         document["probabilities"][0][0] = 5.0
-        with pytest.raises(Exception):
+        with pytest.raises(RRMatrixError):
             matrix_from_dict(document)
 
 

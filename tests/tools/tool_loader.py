@@ -1,0 +1,25 @@
+"""Load the stand-alone scripts under ``tools/`` as importable modules."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+from types import ModuleType
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_tool(name: str) -> ModuleType:
+    """Import ``tools/<name>.py`` under the module name ``tool_<name>``."""
+    module_name = f"tool_{name}"
+    if module_name in sys.modules:
+        return sys.modules[module_name]
+    spec = importlib.util.spec_from_file_location(
+        module_name, REPO_ROOT / "tools" / f"{name}.py"
+    )
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    spec.loader.exec_module(module)
+    return module

@@ -44,15 +44,27 @@ SOURCE_PATH_PATTERN = re.compile(r"`([a-z_]+(?:/[a-z_]+)*\.py)`")
 
 
 def _exists_as_module(dotted: str) -> bool:
-    # Accept `repro.io.dump_canonical_json`-style references: some dotted
-    # prefix must resolve to a module file; the tail names an attribute.
+    # Accept `repro.io.dump_canonical_json`-style references: the longest
+    # resolvable dotted prefix names a module file, and the first tail
+    # component must then appear in that module's source (a definition or
+    # re-export) — otherwise any `repro.typo` would slip through on the
+    # strength of the package prefix alone.
     parts = dotted.split(".")
     for length in range(len(parts), 0, -1):
         relative = Path("src", *parts[:length])
-        if (ROOT / relative).with_suffix(".py").is_file() or (
-            ROOT / relative / "__init__.py"
-        ).is_file():
+        module_file = (ROOT / relative).with_suffix(".py")
+        package_init = ROOT / relative / "__init__.py"
+        if module_file.is_file():
+            source = module_file
+        elif package_init.is_file():
+            source = package_init
+        else:
+            continue
+        tail = parts[length:]
+        if not tail:
             return True
+        pattern = rf"\b{re.escape(tail[0])}\b"
+        return re.search(pattern, source.read_text(encoding="utf-8")) is not None
     return False
 
 

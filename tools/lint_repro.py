@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""repro-lint entry point: AST invariant analyzer for the repo's contracts.
+
+Thin wrapper around :mod:`repro.lintkit.runner` (also reachable as
+``optrr lint``).  Run from the repository root::
+
+    python tools/lint_repro.py                  # whole tree, committed baseline
+    python tools/lint_repro.py src/repro/emoo   # a subtree
+    python tools/lint_repro.py --list-rules
+    python tools/lint_repro.py --write-baseline # snapshot current violations
+
+Rule ids, the ``# repro-lint: allow[<rule>]`` pragma syntax and the
+baseline workflow are documented in ``docs/invariants.md``.  CI runs this
+with ``--forbid-baseline``, so committed baseline entries fail the gate.
+
+Exit code 0 clean, 1 violations (or stale/unjustified/forbidden baseline
+entries), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":
+    try:
+        from repro.lintkit.runner import main
+    except ImportError:
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+        from repro.lintkit.runner import main
+    raise SystemExit(main())
