@@ -1,0 +1,63 @@
+"""Pluggable array backends for the (B, n, n) hot kernels.
+
+Importing this package registers the built-in backends:
+
+* ``numpy`` — the bit-exact reference (default);
+* ``numpy-fused`` — einsum-fused contractions + reused workspaces;
+* ``numba`` — jitted kernels, registered only when numba is importable
+  (otherwise it is recorded as known-but-unavailable with an install hint).
+
+See :mod:`repro.backend.base` for the kernel protocol and the exactness
+contract, and :mod:`repro.backend.registry` for selection precedence
+(explicit > ``REPRO_BACKEND`` > ``numpy``).
+"""
+
+from __future__ import annotations
+
+from repro.backend.base import EQUIVALENCE_RTOL, KERNELS, ArrayBackend
+from repro.backend.fused import FusedNumpyBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.registry import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    active_backend,
+    active_backend_name,
+    backend_names,
+    get_backend,
+    known_backend_names,
+    register_backend,
+    register_unavailable_backend,
+    reset_active_backend,
+    resolve_backend_name,
+    set_active_backend,
+    use_backend,
+)
+from repro.backend import numba_backend as _numba_backend
+
+register_backend(NumpyBackend())
+register_backend(FusedNumpyBackend())
+if _numba_backend.NUMBA_AVAILABLE:  # pragma: no cover - optional dependency
+    register_backend(_numba_backend.NumbaBackend())
+else:
+    register_unavailable_backend("numba", _numba_backend.INSTALL_HINT)
+
+__all__ = [
+    "ArrayBackend",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "EQUIVALENCE_RTOL",
+    "KERNELS",
+    "FusedNumpyBackend",
+    "NumpyBackend",
+    "active_backend",
+    "active_backend_name",
+    "backend_names",
+    "get_backend",
+    "known_backend_names",
+    "register_backend",
+    "register_unavailable_backend",
+    "reset_active_backend",
+    "resolve_backend_name",
+    "set_active_backend",
+    "use_backend",
+]

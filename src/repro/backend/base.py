@@ -1,0 +1,154 @@
+"""The array-backend protocol: the (B, n, n) hot kernels behind one seam.
+
+The optimizer's inner loop is dominated by dense linear algebra over stacks
+of randomization matrices.  Everything that touches a ``(B, n, n)`` stack in
+the hot path flows through an :class:`ArrayBackend` instance so alternative
+implementations (fused numpy, jitted numba, ...) can be swapped in without
+touching the callers — and without any of them being able to drift
+semantically, because every registered backend must pass the cross-backend
+equivalence suite (``tests/backend/test_backend_equivalence.py``).
+
+Two hard contracts every backend implementation must honour:
+
+* **RNG-free kernels.**  No kernel may draw randomness.  Random values
+  (crossover cuts, mutation indices/magnitudes/signs) are drawn by the
+  callers in :mod:`repro.core.operators` — in the exact order the reference
+  implementation draws them — and passed in as arrays.  Backend choice can
+  therefore never perturb the seeded RNG stream: fronts and checkpoints
+  stay comparable (and kill/resume stays bit-identical) across backends.
+* **Declared exactness.**  :attr:`ArrayBackend.exactness` maps every kernel
+  name to ``"bit-exact"`` (output must equal the ``numpy`` reference bit for
+  bit) or ``"tolerance"`` (output must match within ``rtol=1e-9``; the
+  documented rtol/atol of the equivalence suite).  The suite enforces the
+  declaration, so a backend cannot silently loosen a kernel it claims exact.
+
+Kernels receive validated inputs: **C-contiguous** ``(B, n, n)`` float64
+stacks (see :func:`repro.utils.validation.check_matrix_stack`) and matching
+priors.  Validation lives in the callers so every backend sees identical
+inputs and error behaviour stays backend-independent.  The layout guarantee
+is part of the contract because BLAS contractions round differently for
+different operand layouts — bit-exactness is only well-defined once every
+backend contracts the same bytes in the same layout.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+#: Kernel names a backend implements (the keys of ``exactness``).
+KERNELS = (
+    "evaluate_stack",
+    "batched_safe_inverses",
+    "pairwise_distances",
+    "crossover_columns",
+    "mutate_stack",
+    "repair_stack",
+)
+
+#: Relative tolerance the equivalence suite applies to kernels a backend
+#: declares ``"tolerance"`` (``"bit-exact"`` kernels are compared with
+#: ``np.array_equal``).
+EQUIVALENCE_RTOL = 1e-9
+
+
+class ArrayBackend:
+    """Abstract base of every array backend.
+
+    Subclasses override the kernels below; the base class only fixes the
+    protocol and the metadata every backend carries.
+    """
+
+    #: Registry name (``numpy``, ``numpy-fused``, ``numba``).
+    name: str = ""
+
+    #: Kernel name -> ``"bit-exact"`` | ``"tolerance"`` (see module docs).
+    exactness: Mapping[str, str] = {}
+
+    def evaluate_stack(
+        self,
+        stack: np.ndarray,
+        prior: np.ndarray,
+        n_records: int,
+        *,
+        condition_limit: float,
+        cheap_posterior_bound: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Full-fidelity evaluation of a ``(B, n, n)`` stack.
+
+        Returns ``(privacy, utility, worst_posterior, invertible)`` — the
+        four ``(B,)`` columns of :class:`repro.metrics.evaluation.
+        BatchEvaluation` before fidelity scaling and the delta-feasibility
+        mask are applied by the caller.  ``cheap_posterior_bound`` selects
+        the row-max/row-sum posterior bound (bit-identical to the posterior
+        tensor maximum — division by a positive row sum is monotone) over
+        materialising the ``(B, n, n)`` posterior tensor; the caller picks
+        the branch, so both stay reachable on every backend.  Utility is
+        ``inf`` for rows whose matrix is not numerically invertible.
+        """
+        raise NotImplementedError
+
+    def batched_safe_inverses(
+        self, stack: np.ndarray, *, condition_limit: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Invert every numerically invertible matrix in the stack.
+
+        Returns ``(inverses, invertible)``; rows failing the shared 1-norm
+        condition rule are masked out (callers must consult the mask before
+        using a row).
+        """
+        raise NotImplementedError
+
+    def pairwise_distances(self, points: np.ndarray) -> np.ndarray:
+        """Euclidean distance matrix between the rows of ``(N, d) points``."""
+        raise NotImplementedError
+
+    def crossover_columns(
+        self, first: np.ndarray, second: np.ndarray, cuts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Column crossover of paired parents at pre-drawn boundaries.
+
+        ``cuts[p]`` in ``1..n-1`` is the boundary for pair ``p``: columns
+        ``cuts[p]:`` are swapped between the parents.  Both children are
+        returned as fresh stacks.
+        """
+        raise NotImplementedError
+
+    def mutate_stack(
+        self,
+        stack: np.ndarray,
+        column_indices: np.ndarray,
+        element_indices: np.ndarray,
+        magnitudes: np.ndarray,
+        add: np.ndarray,
+    ) -> np.ndarray:
+        """Proportional column mutation with pre-drawn randomness.
+
+        Applies the paper's Section V-F mutation — perturb one element of
+        one column and rescale the rest proportionally, with the reference
+        implementation's saturation-flip and undo rules — to every matrix of
+        the stack.  All random draws arrive as arrays; the kernel itself is
+        deterministic.
+        """
+        raise NotImplementedError
+
+    def repair_stack(
+        self,
+        stack: np.ndarray,
+        prior: np.ndarray,
+        delta: float,
+        *,
+        max_passes: int,
+        tolerance: float,
+    ) -> np.ndarray:
+        """Privacy-bound repair (Section V-G) of every matrix in the stack.
+
+        Fully deterministic: each matrix follows the scalar reference
+        trajectory (worst violating posterior cell relaxed per pass, best
+        visited state returned).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

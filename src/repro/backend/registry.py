@@ -1,0 +1,148 @@
+"""Backend registry: names, selection precedence, and the active backend.
+
+Selection precedence (first hit wins):
+
+1. an explicit name (``--backend`` on the CLI, ``use_backend(...)`` /
+   ``set_active_backend(...)`` in code);
+2. the ``REPRO_BACKEND`` environment variable;
+3. the ``numpy`` default.
+
+``set_active_backend`` also exports the choice through ``REPRO_BACKEND`` so
+worker processes spawned afterwards (campaign/pipeline grids) inherit it.
+
+Two failure modes are kept distinct: an *unknown* name raises
+:class:`~repro.exceptions.BackendError` listing the registered backends,
+while a *known but unavailable* one (``numba`` without the numba package)
+raises :class:`~repro.exceptions.BackendUnavailableError` carrying the
+install hint.  The CLI maps both to exit code 2.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.backend.base import ArrayBackend
+from repro.exceptions import BackendError, BackendUnavailableError
+
+#: Environment variable consulted when no explicit backend is given.
+ENV_VAR = "REPRO_BACKEND"
+
+#: Backend used when neither an explicit name nor the env var is set.
+DEFAULT_BACKEND = "numpy"
+
+_BACKENDS: dict[str, ArrayBackend] = {}
+_UNAVAILABLE: dict[str, str] = {}
+_ACTIVE: str | None = None
+
+
+def register_backend(backend: ArrayBackend) -> ArrayBackend:
+    """Register (or re-register) a backend instance under ``backend.name``."""
+    if not backend.name:
+        raise BackendError("a backend must carry a non-empty name")
+    _BACKENDS[backend.name] = backend
+    _UNAVAILABLE.pop(backend.name, None)
+    return backend
+
+
+def register_unavailable_backend(name: str, hint: str) -> None:
+    """Record ``name`` as known but not usable in this environment.
+
+    Requesting it raises :class:`BackendUnavailableError` whose message ends
+    with ``hint`` (e.g. how to install the missing optional dependency).
+    """
+    if name not in _BACKENDS:
+        _UNAVAILABLE[name] = hint
+
+
+def backend_names() -> list[str]:
+    """Sorted names of the backends that can actually be activated."""
+    return sorted(_BACKENDS)
+
+
+def known_backend_names() -> list[str]:
+    """Sorted names of every known backend, available or not."""
+    return sorted({*_BACKENDS, *_UNAVAILABLE})
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """Look up a backend by name.
+
+    Raises :class:`BackendUnavailableError` for a known-but-unavailable
+    backend and :class:`BackendError` (listing the registered names) for an
+    unknown one.
+    """
+    backend = _BACKENDS.get(name)
+    if backend is not None:
+        return backend
+    hint = _UNAVAILABLE.get(name)
+    if hint is not None:
+        raise BackendUnavailableError(
+            f"backend {name!r} is not available in this environment; {hint}"
+        )
+    raise BackendError(
+        f"unknown backend {name!r}; registered backends: "
+        f"{', '.join(backend_names())}"
+    )
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """Apply the selection precedence: explicit > ``REPRO_BACKEND`` > default.
+
+    Only resolves the *name*; pass the result to :func:`get_backend` (or
+    :func:`set_active_backend`) to validate it.
+    """
+    if name:
+        return name
+    environment = os.environ.get(ENV_VAR)
+    if environment:
+        return environment
+    return DEFAULT_BACKEND
+
+
+def active_backend_name() -> str:
+    """Name of the backend the seam kernels currently dispatch to."""
+    return _ACTIVE if _ACTIVE is not None else resolve_backend_name()
+
+
+def active_backend() -> ArrayBackend:
+    """The backend instance the seam kernels currently dispatch to."""
+    return get_backend(active_backend_name())
+
+
+def set_active_backend(name: str) -> ArrayBackend:
+    """Activate ``name`` process-wide (validating it first).
+
+    Also exports the choice through ``REPRO_BACKEND`` so worker processes
+    spawned afterwards inherit the same backend.
+    """
+    global _ACTIVE
+    backend = get_backend(name)
+    _ACTIVE = name
+    os.environ[ENV_VAR] = name
+    return backend
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[ArrayBackend]:
+    """Context manager: activate ``name``, restore the previous state on exit
+    (both the process-wide choice and the ``REPRO_BACKEND`` variable)."""
+    global _ACTIVE
+    saved_active = _ACTIVE
+    saved_environment = os.environ.get(ENV_VAR)
+    backend = set_active_backend(name)
+    try:
+        yield backend
+    finally:
+        _ACTIVE = saved_active
+        if saved_environment is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = saved_environment
+
+
+def reset_active_backend() -> None:
+    """Drop any process-wide activation (tests); the env var is untouched."""
+    global _ACTIVE
+    _ACTIVE = None

@@ -30,6 +30,11 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.aggregate import format_aggregate_table
+from repro.backend import (
+    known_backend_names,
+    resolve_backend_name,
+    set_active_backend,
+)
 from repro.analysis.front import ParetoFront
 from repro.analysis.plot import ascii_scatter
 from repro.analysis.report import format_front_table, format_pipeline_table
@@ -40,6 +45,7 @@ from repro.core.search_space import log10_rr_matrix_combinations
 from repro.data.distribution import CategoricalDistribution
 from repro.data.workload import resolve_workload_prior
 from repro.exceptions import (
+    BackendError,
     DataError,
     EstimationError,
     ExperimentError,
@@ -61,6 +67,14 @@ from repro.metrics.evaluation import MatrixEvaluator
 
 #: Default domain size for the synthetic priors when --categories is omitted.
 DEFAULT_CATEGORIES = 10
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="array backend for the (B, n, n) hot kernels (default: "
+             "$REPRO_BACKEND, else numpy); see `docs/cli.md`",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -97,6 +111,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget shared by the experiment's optimizer runs",
     )
+    _add_backend_argument(run_parser)
 
     campaign_parser = subparsers.add_parser(
         "campaign",
@@ -121,6 +136,7 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--output", default=None, help="write the aggregate JSON document to this path"
     )
+    _add_backend_argument(campaign_parser)
 
     optimize_parser = subparsers.add_parser("optimize", help="optimize RR matrices for a workload")
     optimize_parser.add_argument("--distribution", default="normal",
@@ -178,6 +194,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record fraction for low-fidelity evaluations, in (0, 1] "
              "(implies --fidelity; 1.0 disables fidelity scheduling)",
     )
+    _add_backend_argument(optimize_parser)
 
     pipeline_parser = subparsers.add_parser(
         "pipeline",
@@ -235,6 +252,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--result", default=None,
         help="write the full per-cell pipeline_result JSON document to this path",
     )
+    _add_backend_argument(pipeline_parser)
 
     compare_parser = subparsers.add_parser(
         "compare-schemes", help="compare the classic scheme families on a workload"
@@ -269,6 +287,21 @@ def _fail(message: str) -> int:
     return 2
 
 
+def _activate_backend(name: str | None) -> str | None:
+    """Activate the array backend selected by ``--backend``/``REPRO_BACKEND``.
+
+    Returns an error message (for :func:`_fail`) when the resolved backend is
+    unknown or unavailable, ``None`` on success.  The known-backend list is
+    appended to unknown-name errors so the user can see what to pick from.
+    """
+    resolved = resolve_backend_name(name)
+    try:
+        set_active_backend(resolved)
+    except BackendError as exc:
+        return f"{exc} (known backends: {', '.join(known_backend_names())})"
+    return None
+
+
 def _resolve_distribution(name: str, n_categories: int | None) -> CategoricalDistribution:
     """Resolve a --distribution argument into a prior.
 
@@ -289,6 +322,9 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    backend_error = _activate_backend(args.backend)
+    if backend_error is not None:
+        return _fail(backend_error)
     overrides = {}
     if args.generations is not None:
         overrides["n_generations"] = args.generations
@@ -329,6 +365,9 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_campaign(args: argparse.Namespace) -> int:
+    backend_error = _activate_backend(args.backend)
+    if backend_error is not None:
+        return _fail(backend_error)
     if args.seeds < 1:
         return _fail("--seeds must be at least 1")
     if args.jobs < 1:
@@ -390,7 +429,7 @@ def _command_optimize(args: argparse.Namespace) -> int:
             result = _resumed_optimization(args)
         else:
             result = _fresh_optimization(args)
-    except (DataError, ValidationError, OptimizationError) as exc:
+    except (BackendError, DataError, ValidationError, OptimizationError) as exc:
         return _fail(str(exc))
     except OSError as exc:
         return _fail(f"checkpoint i/o failed: {exc}")
@@ -412,8 +451,16 @@ def _command_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _activate_backend_or_raise(name: str | None) -> None:
+    """Like :func:`_activate_backend`, raising the enriched error instead."""
+    error = _activate_backend(name)
+    if error is not None:
+        raise BackendError(error)
+
+
 def _fresh_optimization(args: argparse.Namespace):
     """Run `optrr optimize` from scratch (optionally writing checkpoints)."""
+    _activate_backend_or_raise(args.backend)
     prior = _resolve_distribution(args.distribution, args.categories)
     if args.low_fidelity_fraction is not None:
         low_fidelity_fraction = args.low_fidelity_fraction
@@ -455,6 +502,10 @@ def _resumed_optimization(args: argparse.Namespace):
             f"--resume expects an optrr checkpoint, got algorithm "
             f"{document.get('algorithm')!r}"
         )
+    # Backend precedence on resume: an explicit --backend wins, then the
+    # backend the checkpointed run used (so kill/resume stays consistent
+    # without re-passing the flag), then the env var / default.
+    _activate_backend_or_raise(args.backend or document.get("backend") or None)
     optimizer = OptRROptimizer.from_checkpoint(document)
     if args.generations is not None:
         optimizer = OptRROptimizer(
@@ -498,6 +549,9 @@ def _parse_miner_param_arguments(arguments: Sequence[str]) -> dict[str, dict[str
 
 
 def _command_pipeline(args: argparse.Namespace) -> int:
+    backend_error = _activate_backend(args.backend)
+    if backend_error is not None:
+        return _fail(backend_error)
     if args.jobs < 1:
         return _fail("--jobs must be at least 1")
     if args.schemes is None and args.front is None:

@@ -10,32 +10,23 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.registry import active_backend
 from repro.exceptions import OptimizationError
-
-try:  # pragma: no cover - exercised implicitly where scipy is present
-    from scipy.spatial.distance import pdist, squareform
-
-    _HAVE_SCIPY = True
-except ImportError:  # pragma: no cover - scipy is optional
-    _HAVE_SCIPY = False
 
 
 def pairwise_distances(objectives: np.ndarray) -> np.ndarray:
     """Euclidean distance matrix between objective vectors.
 
-    Uses :func:`scipy.spatial.distance.pdist` (condensed upper triangle, half
-    the work and memory of the naive broadcast) when SciPy is available and
-    falls back to a broadcasted computation otherwise.
+    Validation lives here; the distance computation itself is a kernel of the
+    active array backend (:mod:`repro.backend`).  The default ``numpy``
+    backend uses :func:`scipy.spatial.distance.pdist` (condensed upper
+    triangle, half the work and memory of the naive broadcast) when SciPy is
+    available and a broadcasted computation otherwise.
     """
     points = np.asarray(objectives, dtype=np.float64)
     if points.ndim != 2:
         raise OptimizationError(f"objectives must be 2-D, got shape {points.shape}")
-    if points.shape[0] == 0:
-        return np.zeros((0, 0))
-    if _HAVE_SCIPY and points.shape[0] > 1 and points.shape[1] > 0:
-        return squareform(pdist(points, metric="euclidean"))
-    deltas = points[:, None, :] - points[None, :, :]
-    return np.sqrt(np.einsum("ijk,ijk->ij", deltas, deltas))
+    return active_backend().pairwise_distances(points)
 
 
 def kth_nearest_distances(

@@ -49,3 +49,12 @@ class DataError(ValidationError):
 
 class ExperimentError(ReproError):
     """An experiment is unknown or was configured inconsistently."""
+
+
+class BackendError(ReproError):
+    """An array backend was requested that the registry does not know."""
+
+
+class BackendUnavailableError(BackendError):
+    """A known array backend cannot run in this environment (its optional
+    dependency is not importable); the message carries the install hint."""

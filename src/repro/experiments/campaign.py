@@ -16,8 +16,9 @@ Design invariants
   pure — so the same spec yields byte-identical aggregate documents whether
   it ran serially, on eight workers, or entirely from cache.
 * **Content-addressed caching.**  Every task is keyed by the SHA-256 of
-  ``(package version, experiment id, effective overrides, seed)``.  A cache
-  hit replays the stored document; a miss runs the experiment and stores it.
+  ``(package version, experiment id, effective overrides, seed, array
+  backend)``.  A cache hit replays the stored document; a miss runs the
+  experiment and stores it.
   Changing any input — including upgrading the library — changes the key, so
   stale results can never be replayed.
 * **Per-experiment overrides.**  One global override set is applied to a
@@ -36,6 +37,7 @@ from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
 import repro
+from repro.backend.registry import active_backend_name, set_active_backend
 from repro.analysis.aggregate import (
     ExperimentAggregate,
     aggregate_campaign_runs,
@@ -56,18 +58,22 @@ from repro.utils.logging import get_logger
 logger = get_logger(__name__)
 
 #: Cache-key prefix; bump when the key derivation itself changes.
-CACHE_KEY_SCHEMA = "campaign-task-v1"
+#: v2: the array-backend name joined the key (tolerance-exactness backends
+#: can produce slightly different fronts, so their results must not be
+#: replayed interchangeably).
+CACHE_KEY_SCHEMA = "campaign-task-v2"
 
 
 @dataclass(frozen=True)
 class CampaignTask:
-    """One cell of the campaign grid: an experiment, a seed and the effective
-    (spec-filtered) overrides, stored as sorted items so the task is hashable
-    and its cache key is canonical."""
+    """One cell of the campaign grid: an experiment, a seed, the effective
+    (spec-filtered) overrides — stored as sorted items so the task is hashable
+    and its cache key is canonical — and the array backend it runs under."""
 
     experiment_id: str
     seed: int
     overrides: tuple[tuple[str, Any], ...] = ()
+    backend: str = "numpy"
 
     def cache_key(self) -> str:
         """Content-addressed key of this task (includes the package version)."""
@@ -78,6 +84,7 @@ class CampaignTask:
                 "experiment_id": self.experiment_id,
                 "seed": self.seed,
                 "overrides": list(self.overrides),
+                "backend": self.backend,
             },
             sort_keys=True,
         )
@@ -96,6 +103,7 @@ class CampaignSpec:
     experiments: tuple[str, ...]
     seeds: tuple[int, ...]
     overrides: tuple[tuple[str, Any], ...] = ()
+    backend: str = "numpy"
 
     def tasks(self) -> tuple[CampaignTask, ...]:
         """The grid in canonical order: experiments outer, seeds inner."""
@@ -106,7 +114,9 @@ class CampaignSpec:
             effective = spec.filter_overrides(global_overrides)
             items = tuple(sorted(effective.items()))
             for seed in self.seeds:
-                tasks.append(CampaignTask(experiment_id, int(seed), items))
+                tasks.append(
+                    CampaignTask(experiment_id, int(seed), items, self.backend)
+                )
         return tuple(tasks)
 
 
@@ -154,6 +164,10 @@ def plan_campaign(
         experiments=experiments,
         seeds=tuple(int(seed) for seed in seeds),
         overrides=tuple(sorted(merged.items())),
+        # Materialized like the budget overrides above: the spec fully
+        # describes the campaign, and the cache key records the backend each
+        # task actually ran under.
+        backend=active_backend_name(),
     )
 
 
@@ -239,17 +253,22 @@ class CampaignResult:
         return dump_canonical_json(self.aggregate_document())
 
 
-def _execute_task(payload: tuple[str, int, tuple[tuple[str, Any], ...]]) -> dict[str, Any]:
+def _execute_task(
+    payload: tuple[str, int, tuple[tuple[str, Any], ...], str]
+) -> dict[str, Any]:
     """Process-pool entry point: run one task, return its result document.
 
     Must stay a module-level function (pickled by reference) and must return
     plain JSON-compatible data — shipping the canonical document rather than
     live objects keeps fresh and cached results bit-for-bit interchangeable.
+    The task's backend is activated explicitly (spawn workers do not inherit
+    the parent's in-process activation).
     """
     import repro.experiments  # noqa: F401  (registry side effects in spawn workers)
     from repro.experiments.runner import run_experiment
 
-    experiment_id, seed, override_items = payload
+    experiment_id, seed, override_items, backend = payload
+    set_active_backend(backend)
     result = run_experiment(experiment_id, seed=seed, **dict(override_items))
     return experiment_result_to_dict(result)
 
@@ -338,5 +357,7 @@ def run_campaign(
     return CampaignResult(spec=spec, records=records, aggregates=aggregates)
 
 
-def _payload(task: CampaignTask) -> tuple[str, int, tuple[tuple[str, Any], ...]]:
-    return (task.experiment_id, task.seed, task.overrides)
+def _payload(
+    task: CampaignTask,
+) -> tuple[str, int, tuple[tuple[str, Any], ...], str]:
+    return (task.experiment_id, task.seed, task.overrides, task.backend)

@@ -8,8 +8,11 @@ documented in ``docs/invariants.md``:
 * RL003 ``checkpoint-symmetry`` — state_document/restore_state pairing + keys
 * RL004 ``cache-key-completeness`` — overrides materialized into cache keys
 * RL005 ``ordering-hazard`` — no unordered iteration in optimizer hot paths
+* RL006 ``backend-seam-discipline`` — hot-kernel call sites dispatch through
+  the active array backend
 """
 
+from repro.lintkit.rules.backendseam import BackendSeamRule
 from repro.lintkit.rules.cachekey import CacheKeyCompletenessRule
 from repro.lintkit.rules.checkpoint import CheckpointSymmetryRule
 from repro.lintkit.rules.ordering import OrderingHazardRule
@@ -17,6 +20,7 @@ from repro.lintkit.rules.rng import RngDisciplineRule
 from repro.lintkit.rules.wallclock import WallClockRule
 
 __all__ = [
+    "BackendSeamRule",
     "CacheKeyCompletenessRule",
     "CheckpointSymmetryRule",
     "OrderingHazardRule",

@@ -10,7 +10,9 @@ Two evaluation paths are provided:
 * :meth:`MatrixEvaluator.evaluate_batch` — the vectorized engine.  A whole
   population enters as one ``(B, n, n)`` stack and every quantity (posterior
   tensor, adversary accuracy, condition numbers, inverses, Theorem-6 MSE) is
-  computed with batched NumPy linear algebra.  This is the optimizer hot path.
+  computed by the active array backend (:mod:`repro.backend`); the default
+  ``numpy`` backend is the original batched-numpy computation, bit for bit.
+  This is the optimizer hot path.
 * :meth:`MatrixEvaluator.evaluate` — the scalar API, kept as a thin wrapper
   that stacks a single matrix and unpacks the batch result, so both paths are
   one implementation.  :meth:`MatrixEvaluator.evaluate_scalar` preserves the
@@ -37,18 +39,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend.registry import active_backend
 from repro.data.distribution import CategoricalDistribution
 from repro.exceptions import SingularMatrixError, ValidationError
-from repro.metrics.privacy import (
-    BOUND_ATOL,
-    joint_tensor,
-    max_posterior,
-    posterior_from_joint,
-    privacy_score,
-)
-from repro.metrics.utility import utility_score, utility_score_batch
+from repro.metrics.privacy import BOUND_ATOL, max_posterior, privacy_score
+from repro.metrics.utility import utility_score
 from repro.rr.matrix import RRMatrix, as_matrix_stack
-from repro.utils.linalg import batched_safe_inverses
+from repro.utils.linalg import DEFAULT_CONDITION_LIMIT
 from repro.utils.validation import check_in_unit_interval, check_positive_int
 
 
@@ -249,28 +246,16 @@ class MatrixEvaluator:
             )
         fidelity_column = resolve_fidelity_column(fidelity, stack.shape[0])
         prior_vector = self.prior.probabilities
-        # One joint tensor serves both the adversary accuracy (Eq. 8) and the
-        # posterior maximum (Eq. 9).
-        joint = joint_tensor(stack, prior_vector)
-        privacy = 1.0 - joint.max(axis=2).sum(axis=1)
-        if fidelity_column is None:
-            worst_posterior = posterior_from_joint(joint).max(axis=(1, 2))
-        else:
-            # Cheap posterior bound: max_y (max_x joint[y, x]) / sum_x
-            # joint[y, x].  Division by a positive row sum is monotone, so
-            # this equals the posterior-tensor maximum bit for bit while only
-            # touching (B, n) reductions; zero-probability reports contribute
-            # 0, matching the posterior_from_joint convention.
-            row_max = joint.max(axis=2)
-            row_sum = joint.sum(axis=2)
-            safe = np.where(row_sum > 0, row_sum, 1.0)
-            worst_posterior = np.where(row_sum > 0, row_max / safe, 0.0).max(axis=1)
-        inverses, invertible = batched_safe_inverses(stack)
-        utility = np.full(stack.shape[0], np.inf)
-        if invertible.any():
-            utility[invertible] = utility_score_batch(
-                stack[invertible], inverses[invertible], prior_vector, self.n_records
-            )
+        # The (B, n, n) kernels live behind the array-backend seam; the
+        # default backend reproduces the original batched-numpy computation
+        # bit for bit (see repro.backend.base for the exactness contract).
+        privacy, utility, worst_posterior, invertible = active_backend().evaluate_stack(
+            stack,
+            prior_vector,
+            self.n_records,
+            condition_limit=DEFAULT_CONDITION_LIMIT,
+            cheap_posterior_bound=fidelity_column is not None,
+        )
         if fidelity_column is not None:
             # MSE is exactly proportional to 1/N (Theorem 6), so the
             # subsampled utility is the full utility scaled by N / n_eff.

@@ -160,9 +160,14 @@ def _execute_cell(payload: tuple) -> dict[str, Any]:
     Must stay a module-level function (pickled by reference) and must return
     plain JSON-compatible data — shipping the canonical document rather than
     live objects keeps fresh and cached results bit-for-bit interchangeable.
+    The cell's backend is activated explicitly (spawn workers do not inherit
+    the parent's in-process activation).
     """
+    from repro.backend.registry import set_active_backend
+
     (data, n_records, n_categories, scheme_name, matrix_rows, seed, miner_name,
-     param_items) = payload
+     param_items, backend) = payload
+    set_active_backend(backend)
     matrix = RRMatrix(np.asarray(matrix_rows, dtype=np.float64))
     workload = build_workload(data, n_records, seed, n_categories=n_categories)
     disguised = disguise_workload(workload, matrix)
@@ -188,6 +193,7 @@ def _cell_payload(task: PipelineCellTask) -> tuple:
         task.seed,
         task.miner,
         task.miner_params,
+        task.backend,
     )
 
 

@@ -96,10 +96,16 @@ def check_matrix_stack(
     name: str = "stack",
 ) -> np.ndarray:
     """Validate that ``stack`` is a ``(B, n, n)`` array of square matrices
-    and return it as float64.  Shared by every batched entry point (stacked
-    operators, batched metrics, batched linear algebra) so malformed stacks
-    raise one exception type everywhere."""
-    array = np.asarray(stack, dtype=np.float64)
+    and return it as C-contiguous float64.  Shared by every batched entry
+    point (stacked operators, batched metrics, batched linear algebra) so
+    malformed stacks raise one exception type everywhere.
+
+    The contiguity canonicalisation matters for determinism, not just speed:
+    BLAS contractions round differently depending on operand memory layout,
+    so the array-backend kernels (:mod:`repro.backend`) are only bit-exact
+    against each other when every caller hands them the same layout.  For the
+    engine's own stacks this is a no-op (they are already contiguous)."""
+    array = np.ascontiguousarray(stack, dtype=np.float64)
     if array.ndim != 3 or array.shape[-1] != array.shape[-2]:
         raise ValidationError(
             f"{name} must be a (B, n, n) stack of square matrices, got shape {array.shape}"

@@ -1,0 +1,7 @@
+"""RL006 fixture (broken): scipy smuggled past the pairwise-distance kernel."""
+
+from scipy.spatial.distance import pdist, squareform
+
+
+def pairwise_distances(points):
+    return squareform(pdist(points))

@@ -1,0 +1,7 @@
+"""RL006 fixture (fixed): distances dispatch through the active backend."""
+
+from repro.backend.registry import active_backend
+
+
+def pairwise_distances(points):
+    return active_backend().pairwise_distances(points)

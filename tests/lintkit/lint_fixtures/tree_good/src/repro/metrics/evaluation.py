@@ -1,0 +1,15 @@
+"""RL006 fixture (fixed): evaluation dispatches through the active backend."""
+
+from repro.backend.registry import active_backend
+from repro.utils.linalg import DEFAULT_CONDITION_LIMIT
+
+
+def evaluate_stack(stack, prior, n_records):
+    backend = active_backend()
+    return backend.evaluate_stack(
+        stack,
+        prior,
+        n_records,
+        condition_limit=DEFAULT_CONDITION_LIMIT,
+        cheap_posterior_bound=True,
+    )

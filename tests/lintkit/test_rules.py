@@ -24,7 +24,9 @@ def _by_rule(violations) -> dict[str, list]:
 
 def test_registry_exposes_the_documented_rules() -> None:
     rules = all_rules()
-    assert [rule.rule_id for rule in rules] == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+    assert [rule.rule_id for rule in rules] == [
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+    ]
     names = {rule.rule_id: rule.name for rule in rules}
     assert names == {
         "RL001": "rng-discipline",
@@ -32,6 +34,7 @@ def test_registry_exposes_the_documented_rules() -> None:
         "RL003": "checkpoint-symmetry",
         "RL004": "cache-key-completeness",
         "RL005": "ordering-hazard",
+        "RL006": "backend-seam-discipline",
     }
 
 
@@ -42,7 +45,9 @@ def test_good_tree_is_completely_clean(good_tree: Path) -> None:
 def test_bad_tree_total(bad_tree: Path) -> None:
     violations = lint_tree(bad_tree)
     counts = {rule_id: len(found) for rule_id, found in _by_rule(violations).items()}
-    assert counts == {"RL001": 5, "RL002": 5, "RL003": 3, "RL004": 3, "RL005": 2}
+    assert counts == {
+        "RL001": 5, "RL002": 5, "RL003": 3, "RL004": 3, "RL005": 2, "RL006": 4,
+    }
 
 
 def test_rng_discipline_findings(bad_tree: Path) -> None:
@@ -122,6 +127,41 @@ def test_ordering_hazard_findings(bad_tree: Path) -> None:
 
 def test_ordering_hazard_accepts_sorted_iteration(good_tree: Path) -> None:
     assert lint_tree(good_tree, {"RL005"}) == []
+
+
+def test_backend_seam_findings(bad_tree: Path) -> None:
+    violations = lint_tree(bad_tree, {"RL006"})
+    messages = [violation.message for violation in violations]
+    assert len(violations) == 4
+    by_file = {violation.relpath for violation in violations}
+    assert by_file == {
+        "src/repro/metrics/evaluation.py",
+        "src/repro/emoo/density.py",
+    }
+    assert any("np.linalg.slogdet" in message for message in messages)
+    assert any("np.linalg.inv" in message for message in messages)
+    assert any(
+        "bypasses the backend's batched_safe_inverses kernel" in message
+        for message in messages
+    )
+    assert any("from scipy.spatial.distance import" in message for message in messages)
+
+
+def test_backend_seam_silent_on_backend_dispatch(good_tree: Path) -> None:
+    # The good-tree seam modules go through active_backend() and import only
+    # the DEFAULT_CONDITION_LIMIT configuration constant from utils.linalg.
+    assert lint_tree(good_tree, {"RL006"}) == []
+
+
+def test_backend_seam_ignores_out_of_scope_files(bad_tree: Path) -> None:
+    # tree_bad/src/repro/rng_helpers.py et al. are outside the seam-owned
+    # file list; RL006 must not wander beyond its three modules.
+    violations = lint_tree(bad_tree, {"RL006"})
+    assert all(
+        violation.relpath
+        in ("src/repro/metrics/evaluation.py", "src/repro/emoo/density.py")
+        for violation in violations
+    )
 
 
 def test_syntax_error_reported_once(tmp_path: Path) -> None:
