@@ -49,10 +49,16 @@ from repro.exceptions import (
     DataError,
     EstimationError,
     ExperimentError,
+    GridCellError,
     OptimizationError,
     ValidationError,
 )
-from repro.experiments.campaign import CampaignCache, plan_campaign, run_campaign
+from repro.experiments.campaign import (
+    DEFAULT_CAMPAIGN_RETRIES,
+    CampaignCache,
+    plan_campaign,
+    run_campaign,
+)
 from repro.experiments.registry import available_experiments, get_experiment
 from repro.experiments.runner import run_experiment
 from repro.pipeline import (
@@ -136,6 +142,7 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--output", default=None, help="write the aggregate JSON document to this path"
     )
+    _add_resilience_arguments(campaign_parser, keep_going_default=True)
     _add_backend_argument(campaign_parser)
 
     optimize_parser = subparsers.add_parser("optimize", help="optimize RR matrices for a workload")
@@ -252,6 +259,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--result", default=None,
         help="write the full per-cell pipeline_result JSON document to this path",
     )
+    _add_resilience_arguments(pipeline_parser, keep_going_default=False)
     _add_backend_argument(pipeline_parser)
 
     compare_parser = subparsers.add_parser(
@@ -279,6 +287,73 @@ def _build_parser() -> argparse.ArgumentParser:
     configure_parser(lint_parser)
 
     return parser
+
+
+def _add_resilience_arguments(
+    parser: argparse.ArgumentParser, *, keep_going_default: bool
+) -> None:
+    """The shared ``--retries/--cell-timeout/--keep-going`` flag group.
+
+    Semantics are documented in ``docs/robustness.md``; the ``keep_going``
+    default differs per command (on for campaigns, off for pipelines).
+    """
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts granted to each failing grid cell, with capped "
+             "exponential backoff between attempts (default: 1 for "
+             "campaign, 0 for pipeline)",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock limit; a cell exceeding it has its worker "
+             "killed and replaced (counts as a failed attempt)",
+    )
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--keep-going", dest="keep_going", action="store_true",
+        default=keep_going_default,
+        help="quarantine cells that exhaust their attempts and run the rest "
+             "of the grid to completion (exit status 1 reports the "
+             f"quarantined cells){' [default]' if keep_going_default else ''}",
+    )
+    group.add_argument(
+        "--no-keep-going", dest="keep_going", action="store_false",
+        help="abort the whole grid on the first cell that exhausts its "
+             f"attempts{'' if keep_going_default else ' [default]'}",
+    )
+
+
+def _report_quarantined_cells(manifest: dict | None, label: str) -> None:
+    """Describe every quarantined cell of a failure manifest on stderr."""
+    cells = [
+        cell for cell in (manifest or {}).get("cells", []) if cell.get("quarantined")
+    ]
+    print(
+        f"optrr: error: {len(cells)} {label} cell(s) quarantined after "
+        f"exhausting their attempts:",
+        file=sys.stderr,
+    )
+    for cell in cells:
+        coordinates = ", ".join(
+            f"{key}={cell[key]}"
+            for key in cell
+            if key not in ("index", "quarantined", "attempts")
+        )
+        last = cell["attempts"][-1] if cell.get("attempts") else {}
+        detail = last.get("error") or last.get("status") or "no result"
+        print(
+            f"optrr:   cell {cell['index']} ({coordinates}): {detail}",
+            file=sys.stderr,
+        )
+
+
+def _validate_resilience_arguments(args: argparse.Namespace) -> str | None:
+    """Shared validation of the resilience flag group (None when valid)."""
+    if args.retries is not None and args.retries < 0:
+        return "--retries must be >= 0"
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        return "--cell-timeout must be positive"
+    return None
 
 
 def _fail(message: str) -> int:
@@ -372,6 +447,9 @@ def _command_campaign(args: argparse.Namespace) -> int:
         return _fail("--seeds must be at least 1")
     if args.jobs < 1:
         return _fail("--jobs must be at least 1")
+    resilience_error = _validate_resilience_arguments(args)
+    if resilience_error is not None:
+        return _fail(resilience_error)
     overrides = {}
     if args.generations is not None:
         overrides["n_generations"] = args.generations
@@ -394,7 +472,21 @@ def _command_campaign(args: argparse.Namespace) -> int:
             CampaignCache(args.cache_dir)
         except OSError as exc:
             return _fail(f"--cache-dir {args.cache_dir!r} is unusable: {exc}")
-    result = run_campaign(spec, n_jobs=args.jobs, cache_dir=args.cache_dir)
+    try:
+        result = run_campaign(
+            spec,
+            n_jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            retries=(
+                args.retries if args.retries is not None else DEFAULT_CAMPAIGN_RETRIES
+            ),
+            cell_timeout=args.cell_timeout,
+            keep_going=args.keep_going,
+        )
+    except (ExperimentError, GridCellError) as exc:
+        # With --no-keep-going a poison cell aborts the grid; surface it as
+        # the documented exit-2 error line, not a traceback.
+        return _fail(str(exc))
     print(
         f"campaign: {len(spec.experiments)} experiment(s) x {len(spec.seeds)} seed(s) "
         f"= {len(result.records)} run(s), {result.n_cache_hits} from cache, "
@@ -407,6 +499,11 @@ def _command_campaign(args: argparse.Namespace) -> int:
         except OSError as exc:
             return _fail(f"could not write --output: {exc}")
         print(f"aggregate written to {args.output}")
+    if result.failures:
+        # Partial success: aggregates over the completed cells were printed
+        # (and written) above; the quarantined cells make the run non-zero.
+        _report_quarantined_cells(result.failure_manifest, "campaign")
+        return 1
     return 0
 
 
@@ -491,12 +588,18 @@ def _resumed_optimization(args: argparse.Namespace):
     checkpoint was written after termination.  Further checkpoints keep
     going to the same file unless ``--checkpoint`` redirects them.
     """
-    from repro.io import load_checkpoint
+    from repro.io import load_checkpoint_with_fallback
 
     try:
-        document = load_checkpoint(args.resume)
+        document, loaded_from = load_checkpoint_with_fallback(args.resume)
     except (OSError, ValueError) as exc:
         raise ValidationError(f"cannot read --resume {args.resume!r}: {exc}") from exc
+    if str(loaded_from) != str(args.resume):
+        print(
+            f"optrr: warning: newest checkpoint was corrupt; resuming from "
+            f"rotation sibling {loaded_from}",
+            file=sys.stderr,
+        )
     if document.get("algorithm") != "optrr":
         raise ValidationError(
             f"--resume expects an optrr checkpoint, got algorithm "
@@ -554,6 +657,9 @@ def _command_pipeline(args: argparse.Namespace) -> int:
         return _fail(backend_error)
     if args.jobs < 1:
         return _fail("--jobs must be at least 1")
+    resilience_error = _validate_resilience_arguments(args)
+    if resilience_error is not None:
+        return _fail(resilience_error)
     if args.schemes is None and args.front is None:
         return _fail("give --schemes, --front, or both")
     if args.front is None and args.front_schemes is not None:
@@ -610,11 +716,20 @@ def _command_pipeline(args: argparse.Namespace) -> int:
         except OSError as exc:
             return _fail(f"--cache-dir {args.cache_dir!r} is unusable: {exc}")
     try:
-        result = run_pipeline(spec, n_jobs=args.jobs, cache_dir=args.cache_dir)
-    except (ValidationError, DataError, EstimationError) as exc:
+        result = run_pipeline(
+            spec,
+            n_jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            retries=(args.retries if args.retries is not None else 0),
+            cell_timeout=args.cell_timeout,
+            keep_going=args.keep_going,
+        )
+    except (ValidationError, DataError, EstimationError, GridCellError) as exc:
         # Cell-time failures (e.g. an estimation method the miner only
         # validates when it runs) surface as the documented exit-2 error
-        # line, not a traceback — also when re-raised out of a worker pool.
+        # line, not a traceback — also when re-raised out of a worker pool,
+        # and also when the cell died without an exception to re-raise (a
+        # crash or timeout under --no-keep-going).
         return _fail(str(exc))
     print(
         f"pipeline: {len(spec.schemes)} scheme(s) x {len(spec.seeds)} seed(s) x "
@@ -638,6 +753,11 @@ def _command_pipeline(args: argparse.Namespace) -> int:
             print(f"result table written to {args.result}")
     except OSError as exc:
         return _fail(f"could not write output document: {exc}")
+    if result.failures:
+        # Partial success: completed cells were reported (and written)
+        # above; the quarantined cells make the run non-zero.
+        _report_quarantined_cells(result.failure_manifest, "pipeline")
+        return 1
     return 0
 
 

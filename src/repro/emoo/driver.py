@@ -592,10 +592,15 @@ class CheckpointScope:
 
     def clear(self) -> None:
         """Delete this scope's checkpoint files (call after the cell's work
-        completed and its final result is safely stored)."""
+        completed and its final result is safely stored).
+
+        The glob also sweeps the ``.prev`` rotation siblings and ``.corrupt``
+        quarantine files that :mod:`repro.io` leaves next to each
+        checkpoint.
+        """
         if self.directory is None or not self.directory.is_dir():
             return
-        for path in self.directory.glob(f"{self.token}-*.json"):
+        for path in self.directory.glob(f"{self.token}-*.json*"):
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - cleanup is best effort
@@ -647,20 +652,25 @@ def claim_scoped_checkpoint() -> tuple[Path | None, int, float | None, dict[str,
     """Claim checkpointing parameters from the ambient scope.
 
     Returns ``(path, cadence, remaining_deadline, resume_document)``; all
-    None/default when no scope is active.  When the claimed file already
-    holds a readable checkpoint it is returned for auto-resume; unreadable
-    files are ignored (the run starts fresh and overwrites them).
+    None/default when no scope is active.  When the claimed file (or its
+    ``.prev`` rotation sibling) already holds a valid checkpoint it is
+    returned for auto-resume; a corrupt newest checkpoint is quarantined by
+    :func:`repro.io.load_checkpoint_with_fallback` and resume falls back to
+    the previous one.  With no valid candidate at all the run starts fresh
+    and overwrites.
     """
     scope = _ACTIVE_SCOPE
     if scope is None:
         return None, DEFAULT_CHECKPOINT_EVERY, None, None
     path, every, remaining = scope.claim()
     resume_document = None
-    if path is not None and path.is_file():
-        from repro.io import load_checkpoint
+    if path is not None:
+        from repro.io import load_checkpoint_with_fallback
 
         try:
-            resume_document = load_checkpoint(path)
+            resume_document, _ = load_checkpoint_with_fallback(path)
+        except FileNotFoundError:
+            pass
         except (OSError, ReproError, ValueError) as exc:
             logger.warning("ignoring unreadable checkpoint %s: %s", path, exc)
     return path, every, remaining, resume_document

@@ -51,6 +51,34 @@ class ExperimentError(ReproError):
     """An experiment is unknown or was configured inconsistently."""
 
 
+class CheckpointCorruptionError(ValidationError):
+    """A checkpoint file exists but cannot be decoded or validated.
+
+    Distinct from a *missing* checkpoint (:class:`FileNotFoundError`): a
+    corrupt file is quarantined and resume falls back to the previous valid
+    checkpoint, while a missing one simply means a fresh start.
+    """
+
+
+class GridCellError(ReproError):
+    """A grid cell exhausted its attempts without producing a result.
+
+    Raised (when quarantine is disabled) for failure modes that leave no
+    Python exception to re-raise — a worker process that died or was killed
+    for exceeding the cell timeout.  ``failure`` carries the cell's full
+    attempt history (a :class:`repro.experiments.grid.CellFailure`).
+    """
+
+    def __init__(self, message: str, failure: object | None = None) -> None:
+        super().__init__(message)
+        self.failure = failure
+
+
+class FaultInjectedError(ReproError):
+    """An error deliberately raised by the fault-injection harness
+    (:mod:`repro.faults`) — never seen outside chaos tests."""
+
+
 class BackendError(ReproError):
     """An array backend was requested that the registry does not know."""
 

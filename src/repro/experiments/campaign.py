@@ -46,7 +46,7 @@ from repro.analysis.aggregate import (
 from repro.core.driver import DEFAULT_CHECKPOINT_EVERY
 from repro.exceptions import ExperimentError, ReproError
 from repro.experiments.base import ExperimentResult, environment_override_defaults
-from repro.experiments.grid import DocumentCache, execute_grid
+from repro.experiments.grid import DocumentCache, RetryPolicy, run_grid
 from repro.experiments.registry import find_experiments, get_experiment
 from repro.io import (
     dump_canonical_json,
@@ -56,6 +56,10 @@ from repro.io import (
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
+
+#: Default extra attempts per failing campaign cell (long campaigns hit
+#: transient faults; one cheap retry absorbs most of them).
+DEFAULT_CAMPAIGN_RETRIES = 1
 
 #: Cache-key prefix; bump when the key derivation itself changes.
 #: v2: the array-backend name joined the key (tolerance-exactness backends
@@ -228,15 +232,30 @@ class CampaignResult:
         The campaign specification that was run.
     records:
         Per-task records in canonical grid order (experiments outer, seeds
-        inner) — independent of completion order.
+        inner) — independent of completion order.  Quarantined tasks have no
+        record.
     aggregates:
         Cross-seed :class:`ExperimentAggregate` per experiment, in grid
-        order.
+        order, over the completed records.
+    failures:
+        Tasks quarantined after exhausting their attempts (empty on a clean
+        run; non-empty only with ``keep_going``).
+    failure_manifest:
+        Structured retry/quarantine record
+        (:meth:`repro.experiments.grid.GridReport.failure_manifest` with
+        experiment/seed labels), or ``None`` when nothing failed.
     """
 
     spec: CampaignSpec
     records: tuple[CampaignRunRecord, ...]
     aggregates: Mapping[str, ExperimentAggregate]
+    failures: tuple[CampaignTask, ...] = ()
+    failure_manifest: dict[str, Any] | None = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether every task in the grid produced a result."""
+        return not self.failures
 
     @property
     def n_cache_hits(self) -> int:
@@ -245,8 +264,17 @@ class CampaignResult:
 
     def aggregate_document(self) -> dict[str, Any]:
         """The aggregates as a JSON-compatible ``campaign_aggregate``
-        document (byte-identical across worker counts and cache states)."""
-        return aggregate_to_document(self.aggregates)
+        document (byte-identical across worker counts and cache states).
+
+        The ``failure_manifest`` section appears only when something failed,
+        so a fault-free campaign's document is byte-identical to one
+        produced without the resilience layer at all.
+        """
+        document = aggregate_to_document(self.aggregates)
+        if self.failure_manifest is not None:
+            document = dict(document)
+            document["failure_manifest"] = self.failure_manifest
+        return document
 
     def aggregate_json(self) -> str:
         """Canonical JSON text of :meth:`aggregate_document`."""
@@ -282,6 +310,9 @@ def run_campaign(
     cache_dir: str | Path | None = None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     on_task_done: Callable[[CampaignTask, bool], None] | None = None,
+    retries: int = DEFAULT_CAMPAIGN_RETRIES,
+    cell_timeout: float | None = None,
+    keep_going: bool = True,
 ) -> CampaignResult:
     """Run a campaign grid, in parallel when ``n_jobs > 1``.
 
@@ -312,11 +343,25 @@ def run_campaign(
     on_task_done:
         Optional progress callback invoked as ``(task, from_cache)`` when
         each task finishes (completion order).
+    retries:
+        Extra attempts granted to each failing cell beyond its first, with
+        capped deterministic exponential backoff between attempts.
+    cell_timeout:
+        Per-attempt wall-clock limit in seconds; a cell exceeding it has its
+        worker killed and replaced (forces process isolation even for
+        ``n_jobs == 1``).  ``None`` disables the limit.
+    keep_going:
+        Quarantine cells that exhaust their attempts — recording them in
+        ``failures``/``failure_manifest`` and aggregating over the rest —
+        instead of aborting the campaign on its first poison cell.  On by
+        default: a 500-cell overnight campaign should not discard 499
+        results because one seed hit a bug.
 
     Returns
     -------
     CampaignResult
-        Records in canonical grid order plus cross-seed aggregates.
+        Records in canonical grid order plus cross-seed aggregates; check
+        ``complete``/``failures`` when ``keep_going`` is on.
     """
     if isinstance(patterns_or_spec, CampaignSpec):
         if seeds is not None or overrides is not None:
@@ -329,9 +374,11 @@ def run_campaign(
         if seeds is None:
             raise ExperimentError("seeds are required when patterns are given")
         spec = plan_campaign(patterns_or_spec, seeds, overrides)
+    if retries < 0:
+        raise ExperimentError(f"retries must be >= 0, got {retries}")
     tasks = spec.tasks()
     cache = CampaignCache(cache_dir) if cache_dir is not None else None
-    outcomes = execute_grid(
+    report = run_grid(
         payloads=[_payload(task) for task in tasks],
         worker=_execute_task,
         parse=experiment_result_from_dict,
@@ -346,15 +393,32 @@ def run_campaign(
             else lambda index, cached: on_task_done(tasks[index], cached)
         ),
         label="campaign",
+        policy=RetryPolicy(
+            max_attempts=retries + 1,
+            cell_timeout=cell_timeout,
+            keep_going=keep_going,
+        ),
     )
     records = tuple(
         CampaignRunRecord(task=task, result=outcome.value, from_cache=outcome.from_cache)
-        for task, outcome in zip(tasks, outcomes)
+        for task, outcome in zip(tasks, report.outcomes)
+        if outcome is not None
     )
     aggregates = aggregate_campaign_runs(
         [(record.task.experiment_id, record.task.seed, record.result) for record in records]
     )
-    return CampaignResult(spec=spec, records=records, aggregates=aggregates)
+    return CampaignResult(
+        spec=spec,
+        records=records,
+        aggregates=aggregates,
+        failures=tuple(tasks[failure.index] for failure in report.failures),
+        failure_manifest=report.failure_manifest(
+            describe=lambda index: {
+                "experiment_id": tasks[index].experiment_id,
+                "seed": tasks[index].seed,
+            }
+        ),
+    )
 
 
 def _payload(

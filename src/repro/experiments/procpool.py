@@ -1,0 +1,270 @@
+"""Kill-and-replace process execution for resilient grids.
+
+:class:`concurrent.futures.ProcessPoolExecutor` cannot express the
+resilience semantics the grid executor needs: killing a hung worker breaks
+the whole pool (every sibling future collapses into
+``BrokenProcessPool``), and there is no per-task wall-clock deadline at
+all.  This module runs each grid-cell *attempt* in its own
+:class:`multiprocessing.Process` connected by a pipe, so the parent can
+
+* enforce a per-cell timeout by terminating exactly that process and
+  scheduling a replacement attempt,
+* classify a worker that died without reporting (crash — the pipe hits EOF)
+  separately from one that raised (the exception object travels back over
+  the pipe and can be re-raised verbatim),
+* run retry backoffs asynchronously: a cell waiting out its backoff does
+  not block the other cells' progress.
+
+Retry policy, attempt accounting and quarantine decisions stay with the
+caller (:mod:`repro.experiments.grid`) through callbacks; this module owns
+only process lifecycle and timing.  It is one of the repro-lint ``RL002``
+allowlisted timing sites: deadlines and backoff scheduling need a monotonic
+clock, and nothing measured here can reach a result document.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as wait_for_connections
+from typing import Any, Callable
+
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+#: Upper bound on one scheduler pause (seconds): the loop wakes at least
+#: this often to start due retries even when no connection turns readable.
+MAX_POLL_SECONDS = 0.25
+
+#: Grace period after ``terminate()`` before escalating to ``kill()``.
+TERMINATE_GRACE_SECONDS = 2.0
+
+
+def _attempt_process_main(
+    runner: Callable[[Any], dict[str, Any]], bundle: Any, connection: Connection
+) -> None:
+    """Child entry point: run the attempt, ship the outcome over the pipe.
+
+    Ships ``("ok", document)`` or ``("error", exception)`` — the exception
+    object itself when it pickles (so the parent re-raises the real thing),
+    a rendered fallback otherwise.  A child that dies before sending
+    anything leaves the pipe at EOF, which the parent classifies as a
+    crash.
+    """
+    try:
+        document = runner(bundle)
+    except BaseException as exc:  # repro-lint: allow[RL007] — shipped to the parent over the pipe, never swallowed
+        try:
+            connection.send(("error", exc))
+        except Exception:  # repro-lint: allow[RL007] — unpicklable payload; the original failure is re-sent rendered on the next line
+            connection.send(("error", RuntimeError(f"{type(exc).__name__}: {exc}")))
+        return
+    connection.send(("ok", document))
+
+
+@dataclass
+class AttemptOutcome:
+    """What one process-isolated attempt produced."""
+
+    index: int
+    attempt: int
+    status: str  # "ok" | "error" | "timeout" | "crash"
+    document: dict[str, Any] | None = None
+    error: BaseException | None = None
+
+    @property
+    def message(self) -> str:
+        """Human-readable failure description (empty for ``ok``)."""
+        if self.status == "ok":
+            return ""
+        if self.status == "error" and self.error is not None:
+            return f"{type(self.error).__name__}: {self.error}"
+        if self.status == "timeout":
+            return "cell exceeded its wall-clock timeout and was killed"
+        return "worker process died without reporting a result"
+
+
+@dataclass
+class _Running:
+    process: multiprocessing.process.BaseProcess
+    connection: Connection
+    index: int
+    attempt: int
+    deadline: float | None
+
+
+@dataclass
+class _Scheduled:
+    ready_at: float
+    index: int
+    attempt: int
+    order: int = field(default=0)
+
+
+class ProcessCellRunner:
+    """Run cell attempts in disposable worker processes.
+
+    Parameters
+    ----------
+    runner:
+        Module-level callable executing one attempt in the child process.
+    bundle_for:
+        ``(index, attempt)`` → picklable payload for ``runner``.
+    max_workers:
+        Maximum concurrently running attempt processes.
+    cell_timeout:
+        Per-attempt wall-clock limit in seconds (None disables the kill).
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[Any], dict[str, Any]],
+        bundle_for: Callable[[int, int], Any],
+        *,
+        max_workers: int,
+        cell_timeout: float | None,
+    ) -> None:
+        self.runner = runner
+        self.bundle_for = bundle_for
+        self.max_workers = max(1, int(max_workers))
+        self.cell_timeout = cell_timeout
+        self._context = multiprocessing.get_context()
+        self._running: list[_Running] = []
+        self._scheduled: list[_Scheduled] = []
+        self._order = 0
+
+    # -- public driving --------------------------------------------------------
+    def drive(
+        self,
+        indices: list[int],
+        on_outcome: Callable[[AttemptOutcome], float | None],
+    ) -> None:
+        """Run every cell until ``on_outcome`` stops rescheduling it.
+
+        ``on_outcome`` is invoked in the parent for every finished attempt
+        (success, error, timeout or crash) and returns the backoff in
+        seconds before a *retry* of that cell, or ``None`` when the cell is
+        done (collected or quarantined).  Raising from ``on_outcome``
+        aborts the whole grid: every live worker is terminated before the
+        exception propagates.
+        """
+        now = time.monotonic()
+        for index in indices:
+            self._schedule(index, attempt=1, ready_at=now)
+        try:
+            while self._scheduled or self._running:
+                self._launch_due()
+                self._reap(on_outcome)
+        finally:
+            self._terminate_all()
+
+    # -- scheduling ------------------------------------------------------------
+    def _schedule(self, index: int, attempt: int, ready_at: float) -> None:
+        self._scheduled.append(_Scheduled(ready_at, index, attempt, self._order))
+        self._order += 1
+
+    def _launch_due(self) -> None:
+        now = time.monotonic()
+        due = sorted(
+            (item for item in self._scheduled if item.ready_at <= now),
+            key=lambda item: (item.ready_at, item.order),
+        )
+        for item in due:
+            if len(self._running) >= self.max_workers:
+                break
+            self._scheduled.remove(item)
+            self._spawn(item.index, item.attempt)
+
+    def _spawn(self, index: int, attempt: int) -> None:
+        parent_end, child_end = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_attempt_process_main,
+            args=(self.runner, self.bundle_for(index, attempt), child_end),
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        deadline = (
+            time.monotonic() + self.cell_timeout if self.cell_timeout is not None else None
+        )
+        self._running.append(_Running(process, parent_end, index, attempt, deadline))
+
+    # -- reaping ---------------------------------------------------------------
+    def _pause_seconds(self) -> float:
+        """How long the scheduler may sleep before something needs action."""
+        now = time.monotonic()
+        horizon = now + MAX_POLL_SECONDS
+        for item in self._running:
+            if item.deadline is not None:
+                horizon = min(horizon, item.deadline)
+        if len(self._running) < self.max_workers:
+            for item in self._scheduled:
+                horizon = min(horizon, item.ready_at)
+        return max(0.0, horizon - now)
+
+    def _reap(self, on_outcome: Callable[[AttemptOutcome], float | None]) -> None:
+        if not self._running:
+            # Nothing in flight: sleep until the next scheduled retry is due.
+            pause = self._pause_seconds()
+            if pause > 0:
+                time.sleep(pause)
+            return
+        readable = wait_for_connections(
+            [item.connection for item in self._running], timeout=self._pause_seconds()
+        )
+        finished: list[tuple[_Running, AttemptOutcome]] = []
+        now = time.monotonic()
+        for item in list(self._running):
+            if item.connection in readable:
+                finished.append((item, self._collect(item)))
+            elif item.deadline is not None and now >= item.deadline:
+                self._stop_process(item)
+                finished.append(
+                    (item, AttemptOutcome(item.index, item.attempt, "timeout"))
+                )
+        for item, outcome in finished:
+            self._running.remove(item)
+            item.connection.close()
+            item.process.join()
+            backoff = on_outcome(outcome)
+            if backoff is not None:
+                self._schedule(
+                    outcome.index, outcome.attempt + 1, time.monotonic() + backoff
+                )
+
+    def _collect(self, item: _Running) -> AttemptOutcome:
+        try:
+            status, payload = item.connection.recv()
+        except (EOFError, OSError):
+            # The child died (or was killed) before reporting: a crash.
+            return AttemptOutcome(item.index, item.attempt, "crash")
+        if status == "ok":
+            return AttemptOutcome(item.index, item.attempt, "ok", document=payload)
+        return AttemptOutcome(item.index, item.attempt, "error", error=payload)
+
+    def _stop_process(self, item: _Running) -> None:
+        logger.warning(
+            "killing worker for cell %d attempt %d (timeout %.1fs exceeded)",
+            item.index, item.attempt, float(self.cell_timeout or 0.0),
+        )
+        item.process.terminate()
+        item.process.join(TERMINATE_GRACE_SECONDS)
+        if item.process.is_alive():  # pragma: no cover - terminate() sufficing
+            item.process.kill()
+            item.process.join()
+
+    def _terminate_all(self) -> None:
+        for item in self._running:
+            try:
+                item.process.terminate()
+                item.process.join(TERMINATE_GRACE_SECONDS)
+                if item.process.is_alive():  # pragma: no cover - stubborn child
+                    item.process.kill()
+                    item.process.join()
+            except Exception as exc:  # pragma: no cover - teardown is best effort
+                logger.warning("could not terminate worker: %s", exc)
+            finally:
+                item.connection.close()
+        self._running.clear()

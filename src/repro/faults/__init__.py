@@ -1,0 +1,48 @@
+"""Deterministic fault injection for chaos-testing the execution substrate.
+
+The resilience guarantees of the grid/campaign/pipeline executors — retry,
+timeout-and-kill, poison-cell quarantine, corruption-tolerant resume — are
+only real if they can be *demonstrated*, reproducibly.  This package injects
+worker crashes, hangs, transient ``OSError``\\ s and corrupted cache/checkpoint
+state at chosen grid coordinates, driven by a seeded :class:`FaultPlan` that
+makes every chaos run bit-for-bit repeatable.
+
+Activate a plan programmatically (:func:`fault_plan` /
+:func:`install_fault_plan`) or through the ``REPRO_FAULTS`` environment
+variable, whose grammar is documented in :mod:`repro.faults.plan` and
+``docs/robustness.md``.  Fault hooks are no-ops when no plan is active.
+"""
+
+from repro.faults.injector import (
+    CRASH_EXIT_STATUS,
+    FAULTS_ENVIRONMENT_VARIABLE,
+    active_fault_plan,
+    corrupt_stored_document,
+    fault_plan,
+    fire_cell_faults,
+    install_fault_plan,
+    truncate_checkpoint_file,
+)
+from repro.faults.plan import (
+    DEFAULT_HANG_SECONDS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "CRASH_EXIT_STATUS",
+    "DEFAULT_HANG_SECONDS",
+    "FAULT_KINDS",
+    "FAULTS_ENVIRONMENT_VARIABLE",
+    "FaultPlan",
+    "FaultSpec",
+    "active_fault_plan",
+    "corrupt_stored_document",
+    "fault_plan",
+    "fire_cell_faults",
+    "install_fault_plan",
+    "parse_fault_plan",
+    "truncate_checkpoint_file",
+]

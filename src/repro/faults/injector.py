@@ -1,0 +1,145 @@
+"""Fault-injection hooks wired into the execution substrate.
+
+The production code calls three tiny hooks — at cell start
+(:func:`fire_cell_faults`), after a cache-document store
+(:func:`corrupt_stored_document`) and after a checkpoint write
+(:func:`truncate_checkpoint_file`).  When no plan is active each hook is a
+single ``None`` check, so the fault machinery costs nothing on the fault-free
+path.
+
+A plan activates in one of two ways:
+
+* :func:`install_fault_plan` / the :func:`fault_plan` context manager —
+  in-process, for tests driving serial grids;
+* the ``REPRO_FAULTS`` environment variable — parsed lazily (and cached per
+  text value), and inherited by worker processes, so multi-worker chaos
+  tests only need ``monkeypatch.setenv``.
+
+Determinism: every decision is a pure function of the plan and the
+``(cell index, attempt)`` coordinate (see :meth:`~repro.faults.plan.
+FaultSpec.fires`); the hooks keep no mutable firing state at all.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.exceptions import FaultInjectedError
+from repro.faults.plan import FaultPlan, FaultSpec, parse_fault_plan
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+#: Environment variable carrying the fault plan (grammar in
+#: :mod:`repro.faults.plan`).
+FAULTS_ENVIRONMENT_VARIABLE = "REPRO_FAULTS"
+
+#: Exit status of an injected worker crash — distinctive enough to spot in
+#: a process table, unmistakable for a Python exception.
+CRASH_EXIT_STATUS = 113
+
+_INSTALLED: FaultPlan | None = None
+_PARSED_ENVIRONMENT: tuple[str, FaultPlan] | None = None
+
+
+def install_fault_plan(plan: FaultPlan | None) -> None:
+    """Install (or with ``None`` clear) the in-process fault plan."""
+    global _INSTALLED
+    _INSTALLED = plan
+
+
+@contextmanager
+def fault_plan(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for the duration of the block (test fixture)."""
+    previous = _INSTALLED
+    install_fault_plan(plan)
+    try:
+        yield plan
+    finally:
+        install_fault_plan(previous)
+
+
+def active_fault_plan() -> FaultPlan | None:
+    """The plan in effect: the installed one, else ``REPRO_FAULTS``.
+
+    The environment parse is cached per text value, so the per-cell hook
+    cost stays at a dictionary read; an empty/unset variable means no plan.
+    """
+    global _PARSED_ENVIRONMENT
+    if _INSTALLED is not None:
+        return _INSTALLED
+    text = os.environ.get(FAULTS_ENVIRONMENT_VARIABLE, "").strip()
+    if not text:
+        return None
+    if _PARSED_ENVIRONMENT is None or _PARSED_ENVIRONMENT[0] != text:
+        _PARSED_ENVIRONMENT = (text, parse_fault_plan(text))
+    return _PARSED_ENVIRONMENT[1]
+
+
+def fire_cell_faults(index: int, attempt: int) -> None:
+    """Inject the in-cell faults planned for this ``(cell, attempt)``.
+
+    Called at the top of every grid-cell execution, inside the process that
+    runs the cell.  Injection order is clause order: a clause list
+    ``hang@...; oserror@...`` sleeps first, then raises.
+    """
+    plan = active_fault_plan()
+    if plan is None:
+        return
+    for spec in plan.cell_faults(index, attempt):
+        _inject(spec, index, attempt)
+
+
+def _inject(spec: FaultSpec, index: int, attempt: int) -> None:
+    where = f"cell {index} attempt {attempt}"
+    if spec.kind == "hang":
+        logger.warning("fault injection: hanging %s for %.1fs", where, spec.value)
+        time.sleep(float(spec.value if spec.value is not None else 0.0))
+    elif spec.kind == "oserror":
+        raise OSError(f"injected transient OSError at {where}")
+    elif spec.kind == "error":
+        raise FaultInjectedError(f"injected failure at {where}")
+    elif spec.kind == "crash":
+        logger.warning("fault injection: crashing worker at %s", where)
+        # A hard process death — no exception, no cleanup, exactly what a
+        # SIGKILL'd or OOM'd worker looks like to the parent.
+        os._exit(CRASH_EXIT_STATUS)
+
+
+def corrupt_stored_document(path: Path, index: int, attempt: int) -> None:
+    """Corrupt a freshly stored cache document when the plan says so.
+
+    The document is overwritten with a truncated prefix of its own bytes —
+    undecodable JSON, exactly what a torn write (on a filesystem without
+    atomic rename) or a partially synced page leaves behind.
+    """
+    plan = active_fault_plan()
+    if plan is None:
+        return
+    if not plan.cache_corruptions(index, attempt):
+        return
+    _truncate_file(path, f"cache document for cell {index}")
+
+
+def truncate_checkpoint_file(path: Path) -> None:
+    """Truncate a freshly written checkpoint when the plan targets it."""
+    plan = active_fault_plan()
+    if plan is None:
+        return
+    if not plan.checkpoint_truncations(path.name):
+        return
+    _truncate_file(path, "checkpoint")
+
+
+def _truncate_file(path: Path, what: str) -> None:
+    try:
+        data = path.read_bytes()
+        path.write_bytes(data[: max(1, len(data) // 2)])
+    except OSError as exc:  # pragma: no cover - injection i/o is best effort
+        logger.warning("fault injection: could not corrupt %s: %s", path, exc)
+        return
+    logger.warning("fault injection: corrupted %s %s", what, path)

@@ -1,0 +1,271 @@
+"""The deterministic fault plan: grammar, model and activation.
+
+A :class:`FaultPlan` is a static, fully deterministic description of which
+faults fire where.  Chaos tests build one programmatically (or via the
+``REPRO_FAULTS`` environment variable, which worker processes inherit) and
+every run under the same plan injects the identical fault sequence — the
+property that makes a chaos test a *test* rather than a dice roll.
+
+Grammar (``REPRO_FAULTS``)
+--------------------------
+Semicolon-separated clauses, each::
+
+    <kind>@<site>:<selector>[*<times>][=<value>][%<probability>]
+
+* ``kind`` — one of :data:`FAULT_KINDS`:
+
+  - ``crash``               the worker process dies (``os._exit``);
+  - ``error``               a :class:`~repro.exceptions.FaultInjectedError`
+                            is raised inside the cell;
+  - ``oserror``             a transient :class:`OSError` is raised inside
+                            the cell (the classic retryable fault);
+  - ``hang``                the cell sleeps ``value`` seconds (default
+                            3600) before doing any work — long enough to
+                            trip any configured cell timeout;
+  - ``corrupt-cache``       the cell's freshly stored cache document is
+                            overwritten with truncated JSON;
+  - ``truncate-checkpoint`` a just-written checkpoint file is truncated to
+                            half its bytes.
+
+* ``site:selector`` — where the fault applies:
+
+  - ``cell:<index>`` / ``cell:*`` — the grid cell at that index (or every
+    cell) for the in-cell kinds and ``corrupt-cache``;
+  - ``file:<substring>`` — checkpoint files whose *name* contains the
+    substring (``truncate-checkpoint`` only).
+
+* ``*<times>`` — fire only on the first ``times`` attempts of a cell
+  (1-based; omitted = every attempt).  ``oserror@cell:1*2`` is the
+  transient fault that fails twice and then lets the cell succeed.
+
+* ``=<value>`` — numeric parameter (currently the ``hang`` duration in
+  seconds).
+
+* ``%<probability>`` — fire with this probability instead of always.  The
+  draw is a pure function of ``(plan seed, kind, site, index, attempt)``
+  through :class:`numpy.random.SeedSequence`, so the same plan replays the
+  same faults bit for bit; see :meth:`FaultSpec.fires`.
+
+A leading ``seed=<int>`` clause sets the plan seed (default 0)::
+
+    REPRO_FAULTS='seed=7; oserror@cell:*%0.2; hang@cell:3=30'
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+#: Fault kinds injected inside a running grid cell.
+CELL_KINDS = frozenset({"crash", "error", "oserror", "hang"})
+
+#: Fault kinds that corrupt freshly written state instead.
+CORRUPTION_KINDS = frozenset({"corrupt-cache", "truncate-checkpoint"})
+
+#: Every recognized fault kind.
+FAULT_KINDS = CELL_KINDS | CORRUPTION_KINDS
+
+#: Default ``hang`` duration (seconds) — effectively forever next to any
+#: realistic ``--cell-timeout``.
+DEFAULT_HANG_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault clause.
+
+    Attributes
+    ----------
+    kind:
+        A member of :data:`FAULT_KINDS`.
+    site:
+        ``"cell"`` or ``"file"``.
+    selector:
+        Cell index as text, ``"*"``, or a file-name substring.
+    times:
+        Fire only on attempts ``1..times`` (None = every attempt).
+    value:
+        Numeric parameter (hang seconds); None when the kind takes none.
+    probability:
+        Seeded firing probability in ``(0, 1]``; None fires always.
+    """
+
+    kind: str
+    site: str
+    selector: str
+    times: int | None = None
+    value: float | None = None
+    probability: float | None = None
+
+    def matches_cell(self, index: int) -> bool:
+        """Whether this spec targets the grid cell at ``index``."""
+        return self.site == "cell" and (
+            self.selector == "*" or self.selector == str(index)
+        )
+
+    def matches_file(self, name: str) -> bool:
+        """Whether this spec targets a file named ``name``."""
+        return self.site == "file" and self.selector in name
+
+    def fires(self, seed: int, index: int, attempt: int) -> bool:
+        """Whether the fault fires on this ``(cell, attempt)`` coordinate.
+
+        Pure function of its arguments plus the plan seed: the probabilistic
+        draw routes through a :class:`~numpy.random.SeedSequence` keyed by
+        ``(seed, kind, site, index, attempt)``, so a plan replays the same
+        fault pattern on every run, in every process.
+        """
+        if self.times is not None and attempt > self.times:
+            return False
+        if self.probability is None:
+            return True
+        entropy = int.from_bytes(
+            hashlib.sha256(f"{self.kind}@{self.site}".encode("utf-8")).digest()[:8],
+            "big",
+        )
+        rng = np.random.default_rng(
+            np.random.SeedSequence([int(seed), entropy, int(index), int(attempt)])
+        )
+        return bool(rng.random() < self.probability)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, immutable collection of fault clauses."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def cell_faults(self, index: int, attempt: int) -> tuple[FaultSpec, ...]:
+        """The in-cell faults that fire on this ``(cell, attempt)``, in
+        clause order."""
+        return tuple(
+            spec
+            for spec in self.specs
+            if spec.kind in CELL_KINDS
+            and spec.matches_cell(index)
+            and spec.fires(self.seed, index, attempt)
+        )
+
+    def cache_corruptions(self, index: int, attempt: int) -> tuple[FaultSpec, ...]:
+        """The ``corrupt-cache`` faults that fire for this cell's stored
+        document."""
+        return tuple(
+            spec
+            for spec in self.specs
+            if spec.kind == "corrupt-cache"
+            and spec.matches_cell(index)
+            and spec.fires(self.seed, index, attempt)
+        )
+
+    def checkpoint_truncations(self, name: str) -> tuple[FaultSpec, ...]:
+        """The ``truncate-checkpoint`` faults targeting a checkpoint file
+        called ``name``."""
+        return tuple(
+            spec
+            for spec in self.specs
+            if spec.kind == "truncate-checkpoint" and spec.matches_file(name)
+        )
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Parse the ``REPRO_FAULTS`` grammar into a :class:`FaultPlan`.
+
+    Raises :class:`~repro.exceptions.ValidationError` on any malformed
+    clause — a chaos run with a typo'd plan must fail loudly, not silently
+    inject nothing.
+    """
+    specs: list[FaultSpec] = []
+    seed = 0
+    for raw in text.split(";"):
+        clause = raw.strip()
+        if not clause:
+            continue
+        if clause.startswith("seed="):
+            seed = _parse_int(clause[len("seed="):], clause, "seed")
+            continue
+        specs.append(_parse_clause(clause))
+    return FaultPlan(specs=tuple(specs), seed=seed)
+
+
+def _parse_clause(clause: str) -> FaultSpec:
+    head, probability = _split_suffix(clause, "%")
+    head, value = _split_suffix(head, "=")
+    # Only a trailing ``*<digits>`` is a times suffix — a bare ``*`` is the
+    # every-cell selector (``cell:*``), not an empty repeat count.
+    times = None
+    times_match = re.search(r"\*(\d+)$", head)
+    if times_match:
+        times = times_match.group(1)
+        head = head[: times_match.start()].strip()
+    kind, separator, target = head.partition("@")
+    kind = kind.strip()
+    if not separator or kind not in FAULT_KINDS:
+        raise ValidationError(
+            f"fault clause {clause!r} must look like kind@site:selector with "
+            f"kind one of {sorted(FAULT_KINDS)}"
+        )
+    site, colon, selector = target.partition(":")
+    site = site.strip()
+    selector = selector.strip()
+    if not colon or not selector or site not in ("cell", "file"):
+        raise ValidationError(
+            f"fault clause {clause!r} needs a cell:<index|*> or "
+            f"file:<substring> site"
+        )
+    if site == "cell" and selector != "*":
+        _parse_int(selector, clause, "cell index")
+    if site == "file" and kind != "truncate-checkpoint":
+        raise ValidationError(
+            f"fault clause {clause!r}: only truncate-checkpoint takes a "
+            f"file:<substring> site"
+        )
+    parsed_times = None
+    if times is not None:
+        parsed_times = _parse_int(times, clause, "times")
+        if parsed_times < 1:
+            raise ValidationError(f"fault clause {clause!r}: times must be >= 1")
+    parsed_value = None
+    if value is not None:
+        parsed_value = _parse_float(value, clause, "value")
+    if kind == "hang" and parsed_value is None:
+        parsed_value = DEFAULT_HANG_SECONDS
+    parsed_probability = None
+    if probability is not None:
+        parsed_probability = _parse_float(probability, clause, "probability")
+        if not 0.0 < parsed_probability <= 1.0:
+            raise ValidationError(
+                f"fault clause {clause!r}: probability must lie in (0, 1]"
+            )
+    return FaultSpec(
+        kind=kind,
+        site=site,
+        selector=selector,
+        times=parsed_times,
+        value=parsed_value,
+        probability=parsed_probability,
+    )
+
+
+def _split_suffix(text: str, marker: str) -> tuple[str, str | None]:
+    head, separator, tail = text.partition(marker)
+    return (head.strip(), tail.strip()) if separator else (head.strip(), None)
+
+
+def _parse_int(text: str, clause: str, what: str) -> int:
+    try:
+        return int(text)
+    except ValueError as exc:
+        raise ValidationError(f"fault clause {clause!r}: bad {what} {text!r}") from exc
+
+
+def _parse_float(text: str, clause: str, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise ValidationError(f"fault clause {clause!r}: bad {what} {text!r}") from exc

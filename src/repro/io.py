@@ -29,8 +29,12 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.core.result import OptimizationResult, ParetoPoint
-from repro.exceptions import ValidationError
+from repro.exceptions import CheckpointCorruptionError, ValidationError
+from repro.faults.injector import truncate_checkpoint_file
 from repro.rr.matrix import RRMatrix
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.analysis.compare import FrontComparison
@@ -280,6 +284,13 @@ def pipeline_result_to_dict(result: "PipelineResult") -> dict[str, Any]:
             }
             for cell in result.cells
         ],
+        # The failure manifest appears only when something failed, keeping
+        # fault-free documents byte-identical to pre-resilience builds.
+        **(
+            {"failure_manifest": result.failure_manifest}
+            if result.failure_manifest is not None
+            else {}
+        ),
     }
 
 
@@ -333,7 +344,21 @@ def pipeline_result_from_dict(document: dict[str, Any]) -> "PipelineResult":
         )
         for item in document.get("cells", [])
     )
-    return PipelineResult(spec=spec, evaluations=evaluations, cells=cells)
+    manifest = document.get("failure_manifest")
+    failures: tuple[tuple[str, int, str], ...] = ()
+    if manifest is not None:
+        failures = tuple(
+            (str(cell["scheme"]), int(cell["seed"]), str(cell["miner"]))
+            for cell in manifest.get("cells", [])
+            if cell.get("quarantined")
+        )
+    return PipelineResult(
+        spec=spec,
+        evaluations=evaluations,
+        cells=cells,
+        failures=failures,
+        failure_manifest=manifest,
+    )
 
 
 def save_pipeline_result(result: "PipelineResult", path: str | Path) -> Path:
@@ -350,6 +375,18 @@ def load_pipeline_result(path: str | Path) -> "PipelineResult":
     return pipeline_result_from_dict(document)
 
 
+def checkpoint_rotation_path(path: str | Path) -> Path:
+    """The ``.prev`` rotation sibling of a checkpoint file."""
+    path = Path(path)
+    return path.with_name(path.name + ".prev")
+
+
+def checkpoint_quarantine_path(path: str | Path) -> Path:
+    """Where a corrupt checkpoint file is parked for forensics."""
+    path = Path(path)
+    return path.with_name(path.name + ".corrupt")
+
+
 def save_checkpoint(document: dict[str, Any], path: str | Path) -> Path:
     """Atomically write a ``checkpoint`` document and return its path.
 
@@ -359,8 +396,12 @@ def save_checkpoint(document: dict[str, Any], path: str | Path) -> Path:
     NumPy bit-generator state).  The write goes through a temporary file in
     the destination directory plus :func:`os.replace`, so a run killed
     mid-checkpoint never leaves a partial document — the previous checkpoint
-    survives intact.  Compact JSON keeps the per-generation serialization
-    cost off the optimization hot path.
+    survives intact.  Additionally the previous checkpoint is rotated to a
+    ``.prev`` sibling rather than overwritten, so even a checkpoint that was
+    written whole and corrupted *afterwards* (torn page, bit rot) leaves a
+    valid predecessor for :func:`load_checkpoint_with_fallback`.  Compact
+    JSON keeps the per-generation serialization cost off the optimization
+    hot path.
     """
     _check_document(document, "checkpoint")
     path = Path(path)
@@ -371,6 +412,8 @@ def save_checkpoint(document: dict[str, Any], path: str | Path) -> Path:
     try:
         with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(document, sort_keys=True, separators=(",", ":")))
+        if path.exists():
+            os.replace(path, checkpoint_rotation_path(path))
         os.replace(temporary, path)
     except BaseException:
         try:
@@ -378,6 +421,7 @@ def save_checkpoint(document: dict[str, Any], path: str | Path) -> Path:
         except OSError:
             pass
         raise
+    truncate_checkpoint_file(path)
     return path
 
 
@@ -388,10 +432,72 @@ def load_checkpoint(path: str | Path) -> dict[str, Any]:
     Only the document envelope is validated here (type and format version);
     the algorithm-specific payload is validated by
     :meth:`repro.core.driver.OptimizationDriver.restore`.
+
+    A *missing* checkpoint raises :class:`FileNotFoundError`; a file that
+    exists but does not decode or validate raises
+    :class:`~repro.exceptions.CheckpointCorruptionError` — distinct failure
+    modes, because resume treats them differently (fresh start versus
+    fallback to the previous valid checkpoint).
     """
-    document = json.loads(Path(path).read_text(encoding="utf-8"))
-    _check_document(document, "checkpoint")
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    try:
+        document = json.loads(text)
+    except ValueError as exc:
+        raise CheckpointCorruptionError(
+            f"checkpoint {path} is not decodable JSON: {exc}"
+        ) from exc
+    try:
+        _check_document(document, "checkpoint")
+    except ValidationError as exc:
+        raise CheckpointCorruptionError(
+            f"checkpoint {path} failed envelope validation: {exc}"
+        ) from exc
     return document
+
+
+def load_checkpoint_with_fallback(path: str | Path) -> tuple[dict[str, Any], Path]:
+    """Load ``path``'s checkpoint, falling back to its ``.prev`` rotation.
+
+    Corrupt candidates are quarantined (renamed to ``.corrupt`` with a
+    logged warning) before the next candidate is tried.  Returns the
+    document together with the path it was actually read from.  Raises
+    :class:`FileNotFoundError` when no candidate exists at all, and
+    :class:`~repro.exceptions.CheckpointCorruptionError` when candidates
+    existed but none was valid.
+    """
+    path = Path(path)
+    corruption: CheckpointCorruptionError | None = None
+    for candidate in (path, checkpoint_rotation_path(path)):
+        if not candidate.is_file():
+            continue
+        try:
+            document = load_checkpoint(candidate)
+        except CheckpointCorruptionError as exc:
+            if corruption is None:
+                corruption = exc
+            quarantine = checkpoint_quarantine_path(candidate)
+            try:
+                os.replace(candidate, quarantine)
+            except OSError:  # pragma: no cover - quarantine is best effort
+                continue
+            logger.warning(
+                "quarantined corrupt checkpoint %s -> %s (%s)",
+                candidate.name, quarantine.name, exc,
+            )
+            continue
+        if candidate != path:
+            logger.warning(
+                "checkpoint %s unusable; resuming from rotation sibling %s",
+                path.name, candidate.name,
+            )
+        return document, candidate
+    if corruption is not None:
+        raise CheckpointCorruptionError(
+            f"no valid checkpoint at {path}: newest and .prev rotation are "
+            f"both corrupt or missing"
+        ) from corruption
+    raise FileNotFoundError(f"no checkpoint at {path}")
 
 
 def dump_canonical_json(document: dict[str, Any]) -> str:

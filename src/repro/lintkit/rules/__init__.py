@@ -10,11 +10,14 @@ documented in ``docs/invariants.md``:
 * RL005 ``ordering-hazard`` — no unordered iteration in optimizer hot paths
 * RL006 ``backend-seam-discipline`` — hot-kernel call sites dispatch through
   the active array backend
+* RL007 ``exception-discipline`` — broad except handlers must re-raise, log,
+  or use the caught exception
 """
 
 from repro.lintkit.rules.backendseam import BackendSeamRule
 from repro.lintkit.rules.cachekey import CacheKeyCompletenessRule
 from repro.lintkit.rules.checkpoint import CheckpointSymmetryRule
+from repro.lintkit.rules.exceptions import ExceptionDisciplineRule
 from repro.lintkit.rules.ordering import OrderingHazardRule
 from repro.lintkit.rules.rng import RngDisciplineRule
 from repro.lintkit.rules.wallclock import WallClockRule
@@ -23,6 +26,7 @@ __all__ = [
     "BackendSeamRule",
     "CacheKeyCompletenessRule",
     "CheckpointSymmetryRule",
+    "ExceptionDisciplineRule",
     "OrderingHazardRule",
     "RngDisciplineRule",
     "WallClockRule",

@@ -20,11 +20,14 @@ from repro.lintkit.registry import Rule, register
 from repro.lintkit.rules.rng import _dotted
 
 #: Files allowed to read the wall clock: the driver measures elapsed time
-#: (checkpointed as data) and Deadline consumes it.
+#: (checkpointed as data), Deadline consumes it, and the kill-and-replace
+#: process runner needs monotonic deadlines for cell timeouts and backoff
+#: scheduling (none of which can reach a result document).
 ALLOWED_TIMING_FILES = frozenset(
     {
         "src/repro/emoo/driver.py",
         "src/repro/emoo/termination.py",
+        "src/repro/experiments/procpool.py",
     }
 )
 

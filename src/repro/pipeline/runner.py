@@ -33,7 +33,7 @@ import numpy as np
 from repro.data.workload import SENSITIVE_ATTRIBUTE, MiningWorkload, build_workload, resolve_workload_prior
 from repro.data.dataset import CategoricalDataset
 from repro.exceptions import ValidationError
-from repro.experiments.grid import DocumentCache, execute_grid
+from repro.experiments.grid import DocumentCache, RetryPolicy, run_grid
 from repro.metrics.evaluation import MatrixEvaluator
 from repro.pipeline.miners import get_miner
 from repro.pipeline.spec import PipelineCellTask, PipelineSpec, matrix_digest
@@ -86,12 +86,27 @@ class PipelineResult:
         scheme order.
     cells:
         Per-cell records in canonical grid order (schemes outer, seeds
-        middle, miners inner) — independent of completion order.
+        middle, miners inner) — independent of completion order.  Quarantined
+        cells have no record.
+    failures:
+        ``(scheme, seed, miner)`` coordinates of cells quarantined after
+        exhausting their attempts (non-empty only with ``keep_going``).
+    failure_manifest:
+        Structured retry/quarantine record
+        (:meth:`repro.experiments.grid.GridReport.failure_manifest` with
+        scheme/seed/miner labels), or ``None`` when nothing failed.
     """
 
     spec: PipelineSpec
     evaluations: tuple[SchemeEvaluation, ...]
     cells: tuple[PipelineCellRecord, ...]
+    failures: tuple[tuple[str, int, str], ...] = ()
+    failure_manifest: dict[str, Any] | None = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether every cell in the grid produced a result."""
+        return not self.failures
 
     @property
     def n_cache_hits(self) -> int:
@@ -125,7 +140,11 @@ class PipelineResult:
         aggregates = aggregate_pipeline_cells(
             [(cell.scheme, cell.miner, cell.seed, cell.metrics) for cell in self.cells]
         )
-        return pipeline_aggregate_to_document(self, aggregates)
+        document = pipeline_aggregate_to_document(self, aggregates)
+        if self.failure_manifest is not None:
+            document = dict(document)
+            document["failure_manifest"] = self.failure_manifest
+        return document
 
     def aggregate_json(self) -> str:
         """Canonical JSON text of :meth:`aggregate_document`."""
@@ -241,6 +260,9 @@ def run_pipeline(
     n_jobs: int = 1,
     cache_dir: str | Path | None = None,
     on_task_done: Callable[[PipelineCellTask, bool], None] | None = None,
+    retries: int = 0,
+    cell_timeout: float | None = None,
+    keep_going: bool = False,
 ) -> PipelineResult:
     """Run a pipeline grid, in parallel when ``n_jobs > 1``.
 
@@ -257,6 +279,18 @@ def run_pipeline(
     on_task_done:
         Optional progress callback invoked as ``(task, from_cache)`` when
         each cell finishes (completion order).
+    retries:
+        Extra attempts granted to each failing cell beyond its first, with
+        capped deterministic exponential backoff between attempts.
+    cell_timeout:
+        Per-attempt wall-clock limit in seconds; a cell exceeding it has its
+        worker killed and replaced (forces process isolation even for
+        ``n_jobs == 1``).  ``None`` disables the limit.
+    keep_going:
+        Quarantine cells that exhaust their attempts — recording them in
+        ``failures``/``failure_manifest`` — instead of aborting the pipeline
+        on its first poison cell.  Off by default: a pipeline is usually
+        short enough that fail-fast is the right interactive behaviour.
 
     Returns
     -------
@@ -272,9 +306,11 @@ def run_pipeline(
             f"scheme(s) {singular} are not invertible; the reconstruction "
             f"estimators cannot mine through them"
         )
+    if retries < 0:
+        raise ValidationError(f"retries must be >= 0, got {retries}")
     tasks = spec.tasks()
     cache = PipelineCache(cache_dir) if cache_dir is not None else None
-    outcomes = execute_grid(
+    report = run_grid(
         payloads=[_cell_payload(task) for task in tasks],
         worker=_execute_cell,
         parse=_parse_cell_document,
@@ -287,6 +323,11 @@ def run_pipeline(
             else lambda index, cached: on_task_done(tasks[index], cached)
         ),
         label="pipeline",
+        policy=RetryPolicy(
+            max_attempts=retries + 1,
+            cell_timeout=cell_timeout,
+            keep_going=keep_going,
+        ),
     )
     cells = tuple(
         PipelineCellRecord(
@@ -296,6 +337,23 @@ def run_pipeline(
             metrics=outcome.value.metrics,
             from_cache=outcome.from_cache,
         )
-        for outcome in outcomes
+        for outcome in report.outcomes
+        if outcome is not None
     )
-    return PipelineResult(spec=spec, evaluations=evaluations, cells=cells)
+    return PipelineResult(
+        spec=spec,
+        evaluations=evaluations,
+        cells=cells,
+        failures=tuple(
+            (tasks[failure.index].scheme.name, tasks[failure.index].seed,
+             tasks[failure.index].miner)
+            for failure in report.failures
+        ),
+        failure_manifest=report.failure_manifest(
+            describe=lambda index: {
+                "scheme": tasks[index].scheme.name,
+                "seed": tasks[index].seed,
+                "miner": tasks[index].miner,
+            }
+        ),
+    )

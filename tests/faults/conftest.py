@@ -1,0 +1,29 @@
+"""Shared isolation for the chaos suite.
+
+Fault plans are process-global (an installed plan plus the ``REPRO_FAULTS``
+environment variable that worker processes inherit); a leaked plan would
+turn every later test into an accidental chaos test.  This guard restores
+both after each test.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.faults import injector
+
+
+@pytest.fixture(autouse=True)
+def _isolate_fault_state():
+    installed = injector._INSTALLED
+    env = os.environ.get(injector.FAULTS_ENVIRONMENT_VARIABLE)
+    try:
+        yield
+    finally:
+        injector.install_fault_plan(installed)
+        if env is None:
+            os.environ.pop(injector.FAULTS_ENVIRONMENT_VARIABLE, None)
+        else:
+            os.environ[injector.FAULTS_ENVIRONMENT_VARIABLE] = env

@@ -1,0 +1,123 @@
+"""Grammar and determinism tests for the fault-plan model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.faults.plan import (
+    DEFAULT_HANG_SECONDS,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_plan,
+)
+
+
+class TestGrammar:
+    def test_single_clause(self):
+        plan = parse_fault_plan("error@cell:3")
+        assert plan.seed == 0
+        assert plan.specs == (FaultSpec(kind="error", site="cell", selector="3"),)
+
+    def test_full_suffix_stack(self):
+        plan = parse_fault_plan("oserror@cell:1*2=0.5%0.75")
+        (spec,) = plan.specs
+        assert spec == FaultSpec(
+            kind="oserror", site="cell", selector="1",
+            times=2, value=0.5, probability=0.75,
+        )
+
+    def test_seed_clause_and_multiple_specs(self):
+        plan = parse_fault_plan("seed=7; crash@cell:0; hang@cell:2=30")
+        assert plan.seed == 7
+        assert [spec.kind for spec in plan.specs] == ["crash", "hang"]
+
+    def test_every_cell_selector_with_probability(self):
+        # The trailing ``*`` of ``cell:*`` is a selector, never an empty
+        # times suffix — this clause must parse.
+        (spec,) = parse_fault_plan("crash@cell:*%0.5").specs
+        assert spec.selector == "*"
+        assert spec.times is None
+        assert spec.probability == 0.5
+
+    def test_hang_defaults_to_effectively_forever(self):
+        (spec,) = parse_fault_plan("hang@cell:0").specs
+        assert spec.value == DEFAULT_HANG_SECONDS
+
+    def test_file_site_for_checkpoint_truncation(self):
+        (spec,) = parse_fault_plan("truncate-checkpoint@file:ck.json").specs
+        assert spec.matches_file("ck.json")
+        assert spec.matches_file("deep-ck.json")
+        assert not spec.matches_file("other.json")
+
+    def test_empty_text_is_an_empty_plan(self):
+        assert parse_fault_plan("  ;  ") == FaultPlan()
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "explode@cell:0",           # unknown kind
+            "error@cell",               # no selector
+            "error@socket:3",           # unknown site
+            "error@cell:x",             # non-integer cell index
+            "crash@file:ck.json",       # file site is truncate-only
+            "error@cell:0*0",           # times < 1
+            "error@cell:0%0",           # probability outside (0, 1]
+            "error@cell:0%1.5",
+            "seed=x",
+        ],
+    )
+    def test_malformed_clauses_fail_loudly(self, text):
+        with pytest.raises(ValidationError):
+            parse_fault_plan(text)
+
+
+class TestTargeting:
+    def test_cell_index_and_wildcard(self):
+        indexed = FaultSpec(kind="error", site="cell", selector="2")
+        assert indexed.matches_cell(2)
+        assert not indexed.matches_cell(3)
+        wildcard = FaultSpec(kind="error", site="cell", selector="*")
+        assert wildcard.matches_cell(0) and wildcard.matches_cell(99)
+
+    def test_times_limits_attempts(self):
+        spec = FaultSpec(kind="oserror", site="cell", selector="1", times=2)
+        assert spec.fires(0, 1, 1)
+        assert spec.fires(0, 1, 2)
+        assert not spec.fires(0, 1, 3)
+
+    def test_plan_selects_cell_faults_in_clause_order(self):
+        plan = parse_fault_plan("hang@cell:1=5; oserror@cell:1; error@cell:2")
+        assert [spec.kind for spec in plan.cell_faults(1, 1)] == ["hang", "oserror"]
+        assert [spec.kind for spec in plan.cell_faults(2, 1)] == ["error"]
+        assert plan.cell_faults(0, 1) == ()
+
+    def test_corruption_kinds_do_not_fire_in_cell(self):
+        plan = parse_fault_plan("corrupt-cache@cell:0; truncate-checkpoint@file:ck")
+        assert plan.cell_faults(0, 1) == ()
+        assert [s.kind for s in plan.cache_corruptions(0, 1)] == ["corrupt-cache"]
+        assert [s.kind for s in plan.checkpoint_truncations("my-ck.json")] == [
+            "truncate-checkpoint"
+        ]
+
+
+class TestSeededProbability:
+    def test_draws_are_a_pure_function_of_coordinates(self):
+        spec = FaultSpec(kind="error", site="cell", selector="*", probability=0.5)
+        pattern = [spec.fires(3, index, 1) for index in range(64)]
+        assert pattern == [spec.fires(3, index, 1) for index in range(64)]
+        # The pattern is a genuine mix at p=0.5 over 64 cells.
+        assert 0 < sum(pattern) < 64
+
+    def test_seed_changes_the_pattern(self):
+        spec = FaultSpec(kind="error", site="cell", selector="*", probability=0.5)
+        a = [spec.fires(0, index, 1) for index in range(64)]
+        b = [spec.fires(1, index, 1) for index in range(64)]
+        assert a != b
+
+    def test_kind_decorrelates_draws_at_the_same_coordinate(self):
+        error = FaultSpec(kind="error", site="cell", selector="*", probability=0.5)
+        crash = FaultSpec(kind="crash", site="cell", selector="*", probability=0.5)
+        assert [error.fires(0, i, 1) for i in range(64)] != [
+            crash.fires(0, i, 1) for i in range(64)
+        ]

@@ -25,7 +25,7 @@ def _by_rule(violations) -> dict[str, list]:
 def test_registry_exposes_the_documented_rules() -> None:
     rules = all_rules()
     assert [rule.rule_id for rule in rules] == [
-        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
     ]
     names = {rule.rule_id: rule.name for rule in rules}
     assert names == {
@@ -35,6 +35,7 @@ def test_registry_exposes_the_documented_rules() -> None:
         "RL004": "cache-key-completeness",
         "RL005": "ordering-hazard",
         "RL006": "backend-seam-discipline",
+        "RL007": "exception-discipline",
     }
 
 
@@ -47,6 +48,7 @@ def test_bad_tree_total(bad_tree: Path) -> None:
     counts = {rule_id: len(found) for rule_id, found in _by_rule(violations).items()}
     assert counts == {
         "RL001": 5, "RL002": 5, "RL003": 3, "RL004": 3, "RL005": 2, "RL006": 4,
+        "RL007": 3,
     }
 
 
@@ -162,6 +164,42 @@ def test_backend_seam_ignores_out_of_scope_files(bad_tree: Path) -> None:
         in ("src/repro/metrics/evaluation.py", "src/repro/emoo/density.py")
         for violation in violations
     )
+
+
+def test_exception_discipline_findings(bad_tree: Path) -> None:
+    violations = lint_tree(bad_tree, {"RL007"})
+    messages = [violation.message for violation in violations]
+    assert len(violations) == 3
+    assert all(
+        violation.relpath == "src/repro/experiments/guards.py"
+        for violation in violations
+    )
+    assert any("`except Exception:` swallows" in message for message in messages)
+    assert any("bare `except:` swallows" in message for message in messages)
+    assert any("`except BaseException:` swallows" in message for message in messages)
+
+
+def test_exception_discipline_ignores_narrow_handlers(bad_tree: Path) -> None:
+    # guards.py ends with an `except OSError:` that swallows — naming the
+    # exception type is already a classification decision, so RL007 must not
+    # anchor any violation there.
+    violations = lint_tree(bad_tree, {"RL007"})
+    last_handler_line = max(
+        violation.line for violation in violations
+    )
+    text = (bad_tree / "src/repro/experiments/guards.py").read_text(encoding="utf-8")
+    oserror_line = next(
+        number
+        for number, line in enumerate(text.splitlines(), start=1)
+        if "except OSError" in line
+    )
+    assert last_handler_line < oserror_line
+
+
+def test_exception_discipline_silent_on_disciplined_handlers(good_tree: Path) -> None:
+    # tree_good/src/repro/experiments/guards.py re-raises, logs, uses the
+    # bound exception, and pragma-justifies its one intentional silent site.
+    assert lint_tree(good_tree, {"RL007"}) == []
 
 
 def test_syntax_error_reported_once(tmp_path: Path) -> None:
