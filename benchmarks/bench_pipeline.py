@@ -31,6 +31,7 @@ except ImportError:  # standalone execution: benchmarks/ itself is sys.path[0]
     from conftest import record_bench
 
 from repro.pipeline import plan_pipeline, run_pipeline
+from repro.pipeline import runner as pipeline_runner
 
 #: The pipeline workload: four disguise strengths, three miners, two seeds.
 DATA = "adult:education"
@@ -122,6 +123,74 @@ def measure_cache_replay() -> dict:
     }
 
 
+class _NoStoreMemo(dict):
+    """Memo stand-in that never retains entries (disables the disguise memo)."""
+
+    def __setitem__(self, key, value):  # pragma: no cover - trivial
+        pass
+
+
+def measure_disguise_memo() -> dict:
+    """Time a serial run with the per-worker disguise memo disabled vs enabled.
+
+    The grid shares one disguise stream per (scheme, seed) across all miners,
+    so the memo skips ``(miners - 1) / miners`` of the disguise work.  Both
+    runs must stay byte-identical — the memo is a pure lookup keyed on the
+    full disguise inputs.
+    """
+    spec = _spec()
+    original = pipeline_runner._DISGUISE_MEMO
+    try:
+        pipeline_runner._DISGUISE_MEMO = _NoStoreMemo()
+        start = time.perf_counter()
+        unmemoized = run_pipeline(spec, n_jobs=1)
+        unmemoized_seconds = time.perf_counter() - start
+
+        memo: dict = {}
+        pipeline_runner._DISGUISE_MEMO = memo
+        start = time.perf_counter()
+        memoized = run_pipeline(spec, n_jobs=1)
+        memoized_seconds = time.perf_counter() - start
+    finally:
+        pipeline_runner._DISGUISE_MEMO = original
+
+    assert memoized.aggregate_json() == unmemoized.aggregate_json()
+    n_cells = len(spec.tasks())
+    unique = len(SCHEMES) * N_SEEDS
+    assert len(memo) == unique  # one memo entry per distinct disguise stream
+    return {
+        "n_cells": n_cells,
+        "unmemoized_seconds": unmemoized_seconds,
+        "memoized_seconds": memoized_seconds,
+        "speedup": unmemoized_seconds / memoized_seconds,
+        "redundant_disguises_skipped": n_cells - unique,
+    }
+
+
+def _record_memo(result: dict) -> None:
+    record_bench(
+        "pipeline",
+        "disguise_memo",
+        {"schemes": len(SCHEMES), "miners": len(MINERS), "seeds": N_SEEDS},
+        result["memoized_seconds"],
+        reference_seconds=result["unmemoized_seconds"],
+        redundant_disguises_skipped=result["redundant_disguises_skipped"],
+    )
+
+
+def test_pipeline_disguise_memo_saves_redundant_work():
+    """The per-worker memo must skip every redundant disguise while keeping
+    the aggregate byte-identical (asserted inside the measurement)."""
+    result = measure_disguise_memo()
+    _record_memo(result)
+    print(
+        f"\npipeline disguise memo: unmemoized {result['unmemoized_seconds']:.2f} s, "
+        f"memoized {result['memoized_seconds']:.2f} s, "
+        f"{result['redundant_disguises_skipped']} redundant disguises skipped"
+    )
+    assert result["redundant_disguises_skipped"] == len(SCHEMES) * N_SEEDS * (len(MINERS) - 1)
+
+
 def test_pipeline_byte_determinism_across_jobs_and_cache():
     """The acceptance smoke: byte-identical aggregates across worker counts
     and warm/cold cache states (asserted inside both measurements)."""
@@ -174,6 +243,13 @@ def main() -> None:
     print(
         f"pipeline cache     cold={replay['cold_seconds']:6.2f} s  "
         f"warm={replay['warm_seconds']:6.2f} s  speedup={replay['speedup']:5.1f}x"
+    )
+    memo = measure_disguise_memo()
+    _record_memo(memo)
+    print(
+        f"pipeline memo      unmemoized={memo['unmemoized_seconds']:6.2f} s  "
+        f"memoized={memo['memoized_seconds']:6.2f} s  "
+        f"skipped={memo['redundant_disguises_skipped']} redundant disguises"
     )
 
 

@@ -45,6 +45,7 @@ KERNELS = (
     "crossover_columns",
     "mutate_stack",
     "repair_stack",
+    "disguise_codes",
 )
 
 #: Relative tolerance the equivalence suite applies to kernels a backend
@@ -147,6 +148,30 @@ class ArrayBackend:
         Fully deterministic: each matrix follows the scalar reference
         trajectory (worst violating posterior cell relaxed per pass, best
         visited state returned).
+        """
+        raise NotImplementedError
+
+    def disguise_codes(
+        self,
+        probabilities: np.ndarray,
+        codes: np.ndarray,
+        uniforms: np.ndarray,
+    ) -> np.ndarray:
+        """Randomized-response disguise of ``(N,)`` integer codes.
+
+        ``probabilities`` is the ``(n, n)`` column-stochastic RR matrix
+        (``probabilities[j, i]`` = P(report ``j`` | true ``i``)); ``codes``
+        holds validated int64 true categories in ``[0, n)``; ``uniforms``
+        holds the caller's pre-drawn ``rng.random(N)`` values, in draw order.
+        Returns the ``(N,)`` int64 disguised codes.  The defining semantics
+        (which every implementation must reproduce bit for bit or at its
+        declared exactness) are inverse-CDF sampling against the column CDF:
+        ``out[k] = sum(uniforms[k] > cumsum(probabilities[:, codes[k]]))``
+        with the final CDF entry clamped to exactly ``1.0`` — equivalently
+        ``np.searchsorted(cdf[:, codes[k]], uniforms[k], side="left")``.
+        Kernels must not draw randomness and must keep peak auxiliary
+        allocation ``O(N + n^2)`` (the historical ``(n, N)`` broadcast
+        intermediate is exactly what this kernel exists to avoid).
         """
         raise NotImplementedError
 

@@ -50,6 +50,7 @@ class FusedNumpyBackend(NumpyBackend):
         "crossover_columns": "bit-exact",
         "mutate_stack": "bit-exact",
         "repair_stack": "bit-exact",
+        "disguise_codes": "bit-exact",
     }
 
     def __init__(self) -> None:
@@ -147,3 +148,30 @@ class FusedNumpyBackend(NumpyBackend):
             condition_estimates < condition_limit
         )
         return inverses, invertible
+
+    def disguise_codes(
+        self,
+        probabilities: np.ndarray,
+        codes: np.ndarray,
+        uniforms: np.ndarray,
+    ) -> np.ndarray:
+        # Vectorised binary search over all N records at once: ceil(log2 n)
+        # rounds of one (N,) gather + compare each, no argsort pass.  Pure
+        # ``cdf < u`` comparisons reproduce ``searchsorted(..., "left")`` —
+        # and therefore the reference kernel — bit for bit.
+        n = probabilities.shape[0]
+        cdf = np.cumsum(probabilities, axis=0)
+        cdf[-1, :] = 1.0
+        low = np.zeros(codes.size, dtype=np.int64)
+        high = np.full(codes.size, n, dtype=np.int64)
+        while True:
+            active = low < high
+            if not active.any():
+                break
+            # Clamp keeps converged lanes (low == high == n) in bounds; for
+            # active lanes mid < high <= n already, so it changes nothing.
+            mid = np.minimum((low + high) >> 1, n - 1)
+            go_right = cdf[mid, codes] < uniforms
+            low = np.where(active & go_right, mid + 1, low)
+            high = np.where(active & ~go_right, mid, high)
+        return low

@@ -88,6 +88,7 @@ if NUMBA_AVAILABLE:  # pragma: no cover - requires the optional dependency
             "crossover_columns": "bit-exact",
             "mutate_stack": "bit-exact",
             "repair_stack": "bit-exact",
+            "disguise_codes": "bit-exact",
         }
 
         def pairwise_distances(self, points: np.ndarray) -> np.ndarray:

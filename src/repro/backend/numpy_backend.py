@@ -41,6 +41,7 @@ class NumpyBackend(ArrayBackend):
         "crossover_columns": "bit-exact",
         "mutate_stack": "bit-exact",
         "repair_stack": "bit-exact",
+        "disguise_codes": "bit-exact",
     }
 
     def evaluate_stack(
@@ -211,6 +212,37 @@ class NumpyBackend(ArrayBackend):
             reverted[rows, changed] = reverted[rows, changed] - delta
             result[undo] = reverted[undo]
         return result
+
+    def disguise_codes(
+        self,
+        probabilities: np.ndarray,
+        codes: np.ndarray,
+        uniforms: np.ndarray,
+    ) -> np.ndarray:
+        # Sort-and-group searchsorted: stable-argsort the codes (radix sort
+        # for int64 — O(N)), gather the uniforms into category order once,
+        # then binary-search each category's contiguous slice against its
+        # column CDF.  ``side="left"`` counts the CDF entries strictly below
+        # each uniform, which equals the defining broadcast semantics
+        # ``sum(u > cdf)`` bit for bit, while the peak auxiliary footprint is
+        # O(N + n^2) instead of the historical (n, N) broadcast.
+        n = probabilities.shape[0]
+        cdf = np.cumsum(probabilities, axis=0)
+        cdf[-1, :] = 1.0
+        order = np.argsort(codes, kind="stable")
+        sorted_uniforms = uniforms[order]
+        boundaries = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(codes, minlength=n), out=boundaries[1:])
+        sorted_out = np.empty(codes.size, dtype=np.int64)
+        for category in range(n):
+            begin, end = boundaries[category], boundaries[category + 1]
+            if begin < end:
+                sorted_out[begin:end] = np.searchsorted(
+                    cdf[:, category], sorted_uniforms[begin:end], side="left"
+                )
+        disguised = np.empty(codes.size, dtype=np.int64)
+        disguised[order] = sorted_out
+        return disguised
 
     def repair_stack(
         self,

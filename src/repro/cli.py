@@ -12,6 +12,8 @@ Usage examples::
     optrr optimize --resume run.ck.json --generations 40000
     optrr pipeline --data adult:education --front front.json --miners tree,rules \
         --seeds 0-4 --jobs 2 --output aggregate.json
+    optrr disguise codes.txt --matrix warner:0.8 --categories 5 \
+        --chunk-size 10000 --estimator iterative --report report.json
     optrr compare-schemes --distribution normal --categories 10
     optrr search-space --categories 10 --grid 100
     optrr lint --list-rules
@@ -261,6 +263,57 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience_arguments(pipeline_parser, keep_going_default=False)
     _add_backend_argument(pipeline_parser)
+
+    disguise_parser = subparsers.add_parser(
+        "disguise",
+        help="stream integer codes through an RR disguise with online "
+             "reconstruction (bounded-memory chunks)",
+    )
+    disguise_parser.add_argument(
+        "input", nargs="?", default="-",
+        help="file of integer codes (whitespace-separated); '-' or omitted "
+             "reads stdin",
+    )
+    disguise_parser.add_argument(
+        "--matrix", default=None, metavar="SCHEME|PATH",
+        help="family:parameter scheme (e.g. warner:0.8; needs --categories) "
+             "or a path to an rr_matrix JSON document",
+    )
+    disguise_parser.add_argument(
+        "--front", default=None, metavar="PATH",
+        help="optimization_result JSON produced by `optrr optimize --output`; "
+             "pick a point with --front-index",
+    )
+    disguise_parser.add_argument(
+        "--front-index", type=int, default=0, metavar="K",
+        help="front point to disguise with, in ascending-privacy order "
+             "(default 0)",
+    )
+    disguise_parser.add_argument(
+        "--categories", type=int, default=None,
+        help="domain size (required with a family:parameter --matrix; "
+             "derived from the matrix otherwise)",
+    )
+    disguise_parser.add_argument(
+        "--chunk-size", type=int, default=65_536, metavar="N",
+        help="records disguised per chunk; bounds peak memory (default 65536)",
+    )
+    disguise_parser.add_argument(
+        "--estimator", choices=("inversion", "iterative"), default="inversion",
+        help="reconstruction method for the report (default inversion)",
+    )
+    disguise_parser.add_argument("--seed", type=int, default=0)
+    disguise_parser.add_argument(
+        "--output", default=None,
+        help="write disguised codes (one per line) to this path instead of "
+             "stdout",
+    )
+    disguise_parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the JSON disguise_report document (counts, estimate, "
+             "per-chunk diagnostics) to this path",
+    )
+    _add_backend_argument(disguise_parser)
 
     compare_parser = subparsers.add_parser(
         "compare-schemes", help="compare the classic scheme families on a workload"
@@ -761,6 +814,187 @@ def _command_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_disguise_matrix(args: argparse.Namespace):
+    """Resolve the ``optrr disguise`` matrix source into ``(name, matrix)``.
+
+    Exactly one of ``--matrix`` (scheme string or rr_matrix file) and
+    ``--front`` must be given; an explicit ``--categories`` that contradicts
+    the resolved matrix is rejected instead of silently ignored.
+    """
+    from repro.io import load_matrix, load_result
+    from repro.pipeline.spec import resolve_scheme_argument
+
+    if (args.matrix is None) == (args.front is None):
+        raise ValidationError("give exactly one of --matrix or --front")
+    if args.matrix is not None:
+        path = Path(args.matrix)
+        if path.exists():
+            try:
+                matrix = load_matrix(path)
+            except (OSError, ValueError) as exc:
+                raise ValidationError(
+                    f"cannot read --matrix {args.matrix!r}: {exc}"
+                ) from exc
+            name = f"file:{args.matrix}"
+        else:
+            if args.categories is None:
+                raise ValidationError(
+                    f"--matrix {args.matrix!r} is not a file; a "
+                    f"family:parameter scheme needs --categories"
+                )
+            scheme = resolve_scheme_argument(args.matrix, args.categories)
+            name, matrix = scheme.name, scheme.matrix
+    else:
+        try:
+            result = load_result(args.front)
+        except (OSError, ValueError) as exc:
+            raise ValidationError(
+                f"cannot read --front {args.front!r}: {exc}"
+            ) from exc
+        schemes = schemes_from_front(result)
+        if not 0 <= args.front_index < len(schemes):
+            raise ValidationError(
+                f"--front-index {args.front_index} out of range; the front "
+                f"has {len(schemes)} point(s)"
+            )
+        scheme = schemes[args.front_index]
+        name, matrix = scheme.name, scheme.matrix
+    if args.categories is not None and args.categories != matrix.n_categories:
+        raise ValidationError(
+            f"--categories {args.categories} contradicts the resolved "
+            f"{matrix.n_categories}x{matrix.n_categories} matrix"
+        )
+    return name, matrix
+
+
+def _iter_code_chunks(stream, chunk_size: int):
+    """Parse whitespace-separated integer codes from a text stream in
+    ``chunk_size`` batches (bounded memory: one chunk buffered at a time)."""
+    import numpy as np
+
+    buffer: list[int] = []
+    for line in stream:
+        for token in line.split():
+            try:
+                buffer.append(int(token))
+            except ValueError as exc:
+                raise DataError(f"input code {token!r} is not an integer") from exc
+            if len(buffer) == chunk_size:
+                yield np.asarray(buffer, dtype=np.int64)
+                buffer = []
+    if buffer:
+        yield np.asarray(buffer, dtype=np.int64)
+
+
+def _command_disguise(args: argparse.Namespace) -> int:
+    from repro.io import dump_canonical_json
+    from repro.pipeline.spec import matrix_digest
+    from repro.rr.streaming import OnlineEstimator, StreamingDisguiser
+
+    backend_error = _activate_backend(args.backend)
+    if backend_error is not None:
+        return _fail(backend_error)
+    if args.chunk_size < 1:
+        return _fail("--chunk-size must be at least 1")
+    try:
+        name, matrix = _resolve_disguise_matrix(args)
+    except (ValidationError, DataError, EstimationError) as exc:
+        return _fail(str(exc))
+    report_path = Path(args.report) if args.report is not None else None
+    output_path = Path(args.output) if args.output is not None else None
+    for option, path in (("report", report_path), ("output", output_path)):
+        if path is not None and not path.parent.is_dir():
+            return _fail(f"--{option} directory {str(path.parent)!r} does not exist")
+    disguiser = StreamingDisguiser(matrix, seed=args.seed)
+    estimator = OnlineEstimator(matrix, method=args.estimator)
+    estimate = None
+    # Codes go to stdout by default, so the human summary moves to stderr
+    # there — `optrr disguise < in > out` stays a clean code stream.
+    summary_stream = sys.stdout if output_path is not None else sys.stderr
+    try:
+        if args.input == "-":
+            input_stream = sys.stdin
+            close_input = False
+        else:
+            input_stream = open(args.input, "r", encoding="utf-8")
+            close_input = True
+    except OSError as exc:
+        return _fail(f"cannot read input {args.input!r}: {exc}")
+    try:
+        output_stream = (
+            open(output_path, "w", encoding="utf-8")
+            if output_path is not None
+            else sys.stdout
+        )
+    except OSError as exc:
+        if close_input:
+            input_stream.close()
+        return _fail(f"could not open --output: {exc}")
+    try:
+        for chunk in _iter_code_chunks(input_stream, args.chunk_size):
+            disguised = disguiser.disguise_chunk(chunk)
+            estimate = estimator.update(disguised)
+            output_stream.write("\n".join(map(str, disguised.tolist())) + "\n")
+    except (DataError, ValidationError, EstimationError) as exc:
+        return _fail(str(exc))
+    except OSError as exc:
+        return _fail(f"i/o failed: {exc}")
+    finally:
+        if close_input:
+            input_stream.close()
+        if output_path is not None:
+            output_stream.close()
+    if estimate is None:
+        return _fail("no input codes")
+    n_chunks = len(estimator.diagnostics)
+    print(
+        f"disguise: {disguiser.records_seen} record(s) in {n_chunks} chunk(s), "
+        f"matrix {name} ({matrix.n_categories} categories), seed {args.seed}",
+        file=summary_stream,
+    )
+    probabilities = " ".join(f"{value:.4f}" for value in estimate.probabilities)
+    convergence = (
+        f", {estimate.n_iterations} iteration(s), "
+        f"converged={estimate.converged}"
+        if args.estimator == "iterative"
+        else ""
+    )
+    print(
+        f"estimate ({args.estimator}): [{probabilities}]{convergence}",
+        file=summary_stream,
+    )
+    if report_path is not None:
+        document = {
+            "type": "disguise_report",
+            "format_version": 1,
+            "matrix": {
+                "name": name,
+                "n_categories": matrix.n_categories,
+                "digest": matrix_digest(matrix),
+            },
+            "seed": int(args.seed),
+            "chunk_size": int(args.chunk_size),
+            "estimator": args.estimator,
+            "n_records": disguiser.records_seen,
+            "disguised_counts": [int(count) for count in estimator.counts],
+            "estimate": {
+                "probabilities": [float(v) for v in estimate.probabilities],
+                "raw_probabilities": [float(v) for v in estimate.raw_probabilities],
+                "n_iterations": int(estimate.n_iterations),
+                "converged": bool(estimate.converged),
+            },
+            "chunks": list(estimator.diagnostics),
+        }
+        try:
+            report_path.write_text(
+                dump_canonical_json(document) + "\n", encoding="utf-8"
+            )
+        except OSError as exc:
+            return _fail(f"could not write --report: {exc}")
+        print(f"report written to {args.report}", file=summary_stream)
+    return 0
+
+
 def _command_compare_schemes(args: argparse.Namespace) -> int:
     try:
         prior = _resolve_distribution(args.distribution, args.categories)
@@ -798,6 +1032,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_optimize(args)
     if args.command == "pipeline":
         return _command_pipeline(args)
+    if args.command == "disguise":
+        return _command_disguise(args)
     if args.command == "compare-schemes":
         return _command_compare_schemes(args)
     if args.command == "search-space":

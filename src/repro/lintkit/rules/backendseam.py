@@ -39,6 +39,7 @@ SEAM_OWNED_FILES = (
     "src/repro/metrics/evaluation.py",
     "src/repro/emoo/density.py",
     "src/repro/core/operators.py",
+    "src/repro/rr/randomize.py",
 )
 
 #: Dotted prefixes that resolve to the numpy.linalg namespace in this repo.

@@ -30,6 +30,12 @@ from repro.rr.estimation import (
     IterativeEstimator,
     estimate_distribution,
 )
+from repro.rr.streaming import (
+    CountAccumulator,
+    OnlineEstimator,
+    StreamingDisguiser,
+    iter_chunks,
+)
 from repro.rr.multidim import MultiDimensionalRR
 from repro.rr.ldp import (
     epsilon_for_delta_bound,
@@ -43,17 +49,21 @@ __all__ = [
     "k_rr_matrix",
     "ldp_epsilon",
     "satisfies_ldp",
+    "CountAccumulator",
     "DistributionEstimate",
     "FrappFamily",
     "InversionEstimator",
     "IterativeEstimator",
     "MultiDimensionalRR",
+    "OnlineEstimator",
     "RRMatrix",
     "RandomizedResponse",
     "SchemeFamily",
+    "StreamingDisguiser",
     "UniformPerturbationFamily",
     "WarnerFamily",
     "estimate_distribution",
+    "iter_chunks",
     "frapp_matrix",
     "identity_matrix",
     "random_rr_matrix",

@@ -88,10 +88,12 @@ def _empirical_disguised_distribution(disguised_counts: np.ndarray, n_categories
 def counts_from_codes(codes: np.ndarray, n_categories: int) -> np.ndarray:
     """Histogram integer-coded disguised values into per-category counts."""
     check_positive_int(n_categories, "n_categories")
-    codes = np.asarray(codes, dtype=np.int64)
+    codes = np.ascontiguousarray(codes, dtype=np.int64)
     if codes.ndim != 1 or codes.size == 0:
         raise EstimationError("codes must be a non-empty one-dimensional array")
-    if codes.min() < 0 or codes.max() >= n_categories:
+    # Single-pass domain check: viewed as uint64, negatives wrap to huge
+    # values, so one `>= n` comparison covers both bounds.
+    if (codes.view(np.uint64) >= np.uint64(n_categories)).any():
         raise EstimationError(f"codes must lie in [0, {n_categories})")
     return np.bincount(codes, minlength=n_categories).astype(np.float64)
 
@@ -183,12 +185,22 @@ class IterativeEstimator:
         theta = matrix.probabilities  # theta[i, j] = P(Y = c_i | X = c_j)
         iterations = 0
         converged = False
+        # Per-iteration workspaces: the `theta / safe` weighting previously
+        # built two fresh (n, n) temporaries every iteration.  Writing the
+        # division into a reused buffer and zeroing the impossible-report
+        # rows in place is the same op sequence — identical quotients where
+        # denominators > 0, exact 0.0 elsewhere — so iterates are unchanged.
+        safe = np.empty(n)
+        weights = np.empty_like(theta)
         for iterations in range(1, self.max_iterations + 1):
             denominators = theta @ current  # P_k(Y = c_i)
             # Avoid division by zero for reports that are impossible under the
             # current iterate; their posterior contribution is zero anyway.
-            safe = np.where(denominators > 0, denominators, 1.0)
-            weights = np.where(denominators[:, None] > 0, theta / safe[:, None], 0.0)
+            impossible = denominators <= 0
+            np.copyto(safe, denominators)
+            safe[impossible] = 1.0
+            np.divide(theta, safe[:, None], out=weights)
+            weights[impossible, :] = 0.0
             updated = current * (p_star @ weights)
             total = updated.sum()
             if total <= 0:
@@ -203,8 +215,11 @@ class IterativeEstimator:
             raise EstimationError(
                 f"iterative estimator did not converge in {self.max_iterations} iterations"
             )
+        # One defensive copy serves both fields: the iterative estimate needs
+        # no clipping, so the corrected and raw views are the same vector.
+        final = current.copy()
         return DistributionEstimate(
-            current.copy(), current.copy(), n_iterations=iterations, converged=converged
+            final, final, n_iterations=iterations, converged=converged
         )
 
     def estimate_from_codes(

@@ -13,10 +13,33 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend.registry import active_backend
 from repro.data.dataset import CategoricalDataset
 from repro.exceptions import DataError, RRMatrixError
 from repro.rr.matrix import RRMatrix
 from repro.types import SeedLike, as_rng
+
+
+def check_codes(codes: np.ndarray, n_categories: int) -> np.ndarray:
+    """Validate an integer code array against a category domain.
+
+    Returns the codes as a C-contiguous int64 array after a **single pass**
+    over the data: reinterpreting the int64 values as uint64 wraps negatives
+    to huge values, so one ``>= n`` comparison checks both domain bounds at
+    once (the two-sided min/max scan only runs on the error path, to build
+    the message).
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.int64)
+    if codes.ndim != 1:
+        raise DataError(f"codes must be one-dimensional, got shape {codes.shape}")
+    if codes.size == 0:
+        raise DataError("codes must not be empty")
+    if (codes.view(np.uint64) >= np.uint64(n_categories)).any():
+        raise DataError(
+            f"codes must lie in [0, {n_categories}), "
+            f"got range [{codes.min()}, {codes.max()}]"
+        )
+    return codes
 
 
 @dataclass(frozen=True)
@@ -40,29 +63,19 @@ class RandomizedResponse:
         """Disguise an integer-coded value array.
 
         Each input code ``i`` is replaced by a draw from column ``i`` of the
-        RR matrix.  The operation is vectorised with the inverse-CDF trick so
-        disguising 10^6 records takes milliseconds.
+        RR matrix via inverse-CDF sampling.  The single ``rng.random(N)``
+        draw happens here, in the pre-seam order, and the deterministic
+        searchsorted kernel runs behind the array-backend seam — so backend
+        choice can never perturb the seeded stream, and the disguised codes
+        are bit-identical to the historical ``(n, N)`` broadcast path while
+        peak memory stays O(N + n^2) and compute O(N log n).
         """
-        codes = np.asarray(codes, dtype=np.int64)
-        if codes.ndim != 1:
-            raise DataError(f"codes must be one-dimensional, got shape {codes.shape}")
-        if codes.size == 0:
-            raise DataError("codes must not be empty")
-        if codes.min() < 0 or codes.max() >= self.n_categories:
-            raise DataError(
-                f"codes must lie in [0, {self.n_categories}), "
-                f"got range [{codes.min()}, {codes.max()}]"
-            )
+        codes = check_codes(codes, self.n_categories)
         rng = as_rng(seed)
-        # Cumulative distribution of each column; cdf[:, i] is the CDF of the
-        # report distribution for true value c_i.
-        cdf = np.cumsum(self.matrix.probabilities, axis=0)
-        cdf[-1, :] = 1.0
         uniforms = rng.random(codes.size)
-        # For record r with true code codes[r], find the first row j with
-        # cdf[j, codes[r]] >= uniforms[r].
-        column_cdfs = cdf[:, codes]  # shape (n, N)
-        return (uniforms[None, :] > column_cdfs).sum(axis=0).astype(np.int64)
+        return active_backend().disguise_codes(
+            self.matrix.probabilities, codes, uniforms
+        )
 
     def randomize_attribute(
         self,

@@ -29,6 +29,7 @@ from hypothesis import strategies as st
 from repro.backend import registry
 from repro.backend.base import EQUIVALENCE_RTOL, KERNELS
 from repro.backend.numpy_backend import NumpyBackend
+from repro.rr.reference import broadcast_disguise_reference
 from repro.utils.linalg import DEFAULT_CONDITION_LIMIT
 
 #: Absolute floor applied alongside ``EQUIVALENCE_RTOL`` for ``"tolerance"``
@@ -280,6 +281,76 @@ class TestMutateStack:
             backend.mutate_stack(stack, column_indices, element_indices, magnitudes, add),
             REFERENCE.mutate_stack(stack, column_indices, element_indices, magnitudes, add),
         )
+
+
+def _disguise_inputs(seed: int, n: int, count: int, *, adversarial: bool = True):
+    """A stochastic matrix plus codes/uniforms, with the adversarial cases
+    planted: a zero-probability-prefix column (its CDF repeats exact values)
+    and uniforms that land exactly on CDF boundaries."""
+    rng = np.random.default_rng(seed)
+    probabilities = _stochastic_stack(seed, 1, n)[0]
+    codes = rng.integers(0, n, size=count)
+    uniforms = rng.random(count)
+    if adversarial and count:
+        # Column 0 starts with zero probability: cdf[0, 0] == 0.0 exactly.
+        probabilities[:, 0] = 0.0
+        probabilities[n - 1, 0] = 1.0
+        codes[0] = 0
+        cdf = np.cumsum(probabilities, axis=0)
+        cdf[-1, :] = 1.0
+        # Plant uniforms exactly on CDF boundaries (including the 0.0 and
+        # clamped 1.0 edges) — the strict/non-strict comparison choice is
+        # exactly what these inputs catch.
+        planted = min(count, n)
+        uniforms[:planted] = cdf[rng.integers(0, n, size=planted), codes[:planted]]
+    return probabilities, codes, uniforms
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+class TestDisguiseCodes:
+    @given(seed=seeds, n=st.integers(2, 12), count=st.integers(0, 400))
+    @SETTINGS
+    def test_matches_reference_and_frozen_broadcast(self, name, seed, n, count):
+        backend = registry.get_backend(name)
+        probabilities, codes, uniforms = _disguise_inputs(seed, n, count)
+        actual = backend.disguise_codes(probabilities, codes, uniforms)
+        _assert_kernel_matches(
+            backend,
+            "disguise_codes",
+            actual,
+            REFERENCE.disguise_codes(probabilities, codes, uniforms),
+        )
+        # The frozen (n, N) broadcast is the kernel's executable
+        # specification: every backend must reproduce it at its declared
+        # exactness ("bit-exact" for all current backends).
+        _assert_kernel_matches(
+            backend,
+            "disguise_codes",
+            actual,
+            broadcast_disguise_reference(probabilities, codes, uniforms),
+        )
+        assert actual.dtype == np.int64
+        if count:
+            assert actual.min() >= 0 and actual.max() < n
+
+    @pytest.mark.parametrize("n", [2, 100])
+    def test_extreme_domain_sizes(self, name, n):
+        backend = registry.get_backend(name)
+        probabilities, codes, uniforms = _disguise_inputs(7, n, 5_000)
+        _assert_kernel_matches(
+            backend,
+            "disguise_codes",
+            backend.disguise_codes(probabilities, codes, uniforms),
+            broadcast_disguise_reference(probabilities, codes, uniforms),
+        )
+
+    def test_identity_matrix_is_noop(self, name):
+        backend = registry.get_backend(name)
+        rng = np.random.default_rng(11)
+        codes = rng.integers(0, 6, size=1_000)
+        uniforms = rng.random(codes.size)
+        disguised = backend.disguise_codes(np.eye(6), codes, uniforms)
+        np.testing.assert_array_equal(disguised, codes)
 
 
 @pytest.mark.parametrize("name", BACKENDS)

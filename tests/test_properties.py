@@ -200,7 +200,9 @@ class TestSchemeEquivalenceProperty:
         assert privacy_score(up, prior.probabilities) == pytest.approx(
             privacy_score(warner, prior.probabilities)
         )
-        if up.is_invertible:
+        # Near-singular pairs (q -> 1/n) amplify rounding through the inverse
+        # far past any fixed tolerance; guard like the estimator properties.
+        if up.is_invertible and up.condition <= 1e6:
             assert utility_score(up, prior.probabilities, 1000) == pytest.approx(
                 utility_score(warner, prior.probabilities, 1000), rel=1e-6
             )
